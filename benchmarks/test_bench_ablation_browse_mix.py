@@ -1,0 +1,32 @@
+"""Ablation A3: pure browsing mix (no read-write transitions).
+
+Paper: "The correctness of this interpretation of results is demonstrated
+by another run of a purely 'Browsing' related mix that does not have the
+read-write transitions. Here, our approach always performs better than the
+baseline case for all request types." Without oscillation there is nothing
+for per-request coordination to mis-track, so every type should improve.
+"""
+
+from repro.apps.rubis import BROWSING_MIX, RubisConfig
+from repro.experiments import render_table1, run_rubis_pair
+from repro.sim import seconds
+
+from _shared import emit
+
+
+def run_browsing_pair():
+    return run_rubis_pair(
+        duration=seconds(40), config=RubisConfig(mix=BROWSING_MIX)
+    )
+
+
+def test_bench_ablation_pure_browsing_mix(benchmark):
+    pair = benchmark.pedantic(run_browsing_pair, rounds=1, iterations=1)
+    emit("Ablation A3 (pure browsing mix)\n" + render_table1(pair))
+
+    types = pair.common_types()
+    assert len(types) >= 6  # all read types observed
+    # "always performs better ... for all request types"
+    for name in types:
+        assert pair.coord.per_type[name].mean < pair.base.per_type[name].mean
+    assert pair.coord.throughput > pair.base.throughput

@@ -1,0 +1,43 @@
+"""Extension benchmark: coordination-mechanism scalability (paper §5).
+
+"Also ongoing are evaluations of the scalability of such mechanisms to
+large-scale multicore platforms, part of which involve the use of
+distributed coordination algorithms across multiple island resource
+managers."
+
+K cells with rotating hot phases; a centralized (star) coordinator vs a
+distributed (ring-gossip) one, both speaking Tune over per-link channels.
+"""
+
+from repro.experiments.scalability import render_scalability, run_scalability
+
+from _shared import emit
+
+CELL_COUNTS = (2, 4, 8)
+
+
+def test_bench_ext_scalability(benchmark):
+    results = benchmark.pedantic(
+        run_scalability, args=(CELL_COUNTS,), rounds=1, iterations=1
+    )
+    emit(render_scalability(results))
+
+    for count in CELL_COUNTS:
+        none = results[("none", count)]
+        central = results[("centralized", count)]
+        distributed = results[("distributed", count)]
+        # Both coordination algorithms control the probes' latency.
+        assert central.mean_probe_latency_ms < none.mean_probe_latency_ms * 0.8
+        assert distributed.mean_probe_latency_ms < none.mean_probe_latency_ms * 0.8
+
+    # Centralized message load concentrates at the hub and grows with K...
+    hub_2 = results[("centralized", 2)].hub_messages
+    hub_8 = results[("centralized", 8)].hub_messages
+    assert hub_8 > hub_2 * 2.5  # ~linear in K (4x cells)
+
+    # ...while the distributed scheme's per-cell load stays flat.
+    flat_2 = results[("distributed", 2)].max_cell_messages
+    flat_8 = results[("distributed", 8)].max_cell_messages
+    assert flat_8 <= flat_2 * 2.2
+    # And at scale, the hub concentration dwarfs any distributed cell.
+    assert hub_8 > flat_8 * 2

@@ -1,0 +1,26 @@
+"""Figure 2: baseline RUBiS min-max response-time variability.
+
+Paper claim: without coordination there is "substantial variation in the
+minimum and maximum response time latencies of requests" — multi-hundred-
+millisecond spreads on every request type.
+
+This benchmark also pays for the shared RUBiS pair used by the Figure 4/5
+and Table 1/2 benchmarks.
+"""
+
+from repro.experiments import render_figure2
+
+from _shared import emit, get_rubis_pair
+
+
+def test_bench_fig2_baseline_minmax(benchmark):
+    pair = benchmark.pedantic(get_rubis_pair, rounds=1, iterations=1)
+    emit(render_figure2(pair))
+
+    for name in pair.common_types():
+        summary = pair.base.per_type[name]
+        # Substantial spread: the worst case is a large multiple of the
+        # best case for every type.
+        assert summary.maximum >= summary.minimum * 3
+    overall = pair.base.overall
+    assert overall.spread > 300  # ms: the paper's figure spans seconds

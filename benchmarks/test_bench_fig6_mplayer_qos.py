@@ -1,0 +1,43 @@
+"""Figure 6: MPlayer video-stream QoS under staged weight coordination.
+
+Paper narrative: at default weights (256-256) "neither guest domain is
+able to meet the required frame-rate guarantees"; after bit-rate-driven
+weight increases (384-512) both report rates at/above nominal (22 and
+25.7 fps); further increasing Domain-2 (384-640, plus IXP dequeue threads
+in tandem) keeps Domain-2 high while Domain-1 "is reduced in proportion
+... [but] still remains above the 20 frames/sec limit".
+"""
+
+from repro.experiments import render_figure6, run_qos_ladder
+
+from _shared import emit
+
+
+def test_bench_fig6_qos_ladder(benchmark):
+    result = benchmark.pedantic(run_qos_ladder, rounds=1, iterations=1)
+    emit(render_figure6(result))
+
+    dom1_a, dom2_a = result.stage_a
+    dom1_b, dom2_b = result.stage_b
+    dom1_c, dom2_c = result.stage_c
+
+    # Stage A: neither meets its frame-rate guarantee.
+    assert dom1_a < 19.8
+    assert dom2_a < 24.5
+
+    # Stage B: bit-rate tunes lift both to (at least) nominal.
+    assert dom1_b >= 19.8
+    assert dom2_b >= 24.5
+    assert dom1_b > dom1_a
+    assert dom2_b > dom2_a
+
+    # Stage C: Domain-2 stays high; Domain-1 gives ground but holds the
+    # 20 fps limit (within measurement tolerance).
+    assert dom2_c >= 24.5
+    assert dom1_c <= dom1_b + 0.3
+    assert dom1_c >= 19.4
+
+    # The tandem IXP-thread tune is visible on the island.
+    assert result.ixp_threads["mplayer-2"] > result.ixp_threads["mplayer-1"]
+    # Final weights are the paper's 384-640 ladder point.
+    assert result.weights == {"mplayer-1": 384, "mplayer-2": 640}

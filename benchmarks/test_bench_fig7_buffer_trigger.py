@@ -1,0 +1,42 @@
+"""Figure 7: credit boosts from IXP buffer monitoring.
+
+Paper claims: whenever the per-VM IXP DRAM buffer crosses the 128 KB
+threshold an immediate Trigger boosts the dequeuing guest; the plot shows
+CPU-utilisation spikes for the boosted domain tracking the buffer
+occupancy sawtooth, and the outcome is a ~10% higher frame rate
+(24.0 -> 26.6 fps in the paper).
+"""
+
+from repro.coordination import DEFAULT_THRESHOLD_BYTES
+from repro.experiments import render_figure7
+
+from _shared import emit, get_trigger_pair
+
+
+def test_bench_fig7_buffer_trigger(benchmark):
+    pair = benchmark.pedantic(get_trigger_pair, rounds=1, iterations=1)
+    emit(render_figure7(pair))
+
+    # The bursty UDP stream actually drives the buffer past the threshold
+    # (the paper's plot peaks around 500-600 KB).
+    assert pair.coord.buffer_high_watermark > DEFAULT_THRESHOLD_BYTES
+    assert pair.coord.buffer_high_watermark > 300 * 1024
+
+    # Triggers fired in the coordinated arm only.
+    assert pair.coord.triggers_sent > 10
+    assert pair.base.triggers_sent == 0
+
+    # Boosting the dequeuing domain raises its frame rate (paper: ~+10%).
+    assert pair.coord.dom1_fps > pair.base.dom1_fps * 1.03
+
+    # CPU spikes: the boosted domain's high-utilisation windows (top
+    # decile, which is where the trigger-driven drains live) exceed the
+    # baseline's. A single-max comparison is noise; the decile is not.
+    def top_decile_mean(series):
+        values = sorted((v for _, v in series), reverse=True)
+        top = values[: max(1, len(values) // 10)]
+        return sum(top) / len(top)
+
+    assert top_decile_mean(pair.coord.dom1_cpu_series) > top_decile_mean(
+        pair.base.dom1_cpu_series
+    )

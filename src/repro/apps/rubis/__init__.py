@@ -1,0 +1,48 @@
+"""The RUBiS multi-tier auction-site application model."""
+
+from .client import ClientStats, RubisClient
+from .request_types import (
+    BY_NAME,
+    READ_TYPES,
+    REQUEST_TYPES,
+    WRITE_TYPES,
+    RequestType,
+)
+from .setup import (
+    APP_VM,
+    CLIENT_HOST,
+    DB_VM,
+    WEB_VM,
+    RubisConfig,
+    RubisDeployment,
+    deploy_rubis,
+)
+from .tiers import ApplicationServer, DatabaseServer, TierServer, WebServer
+from .workload import BIDDING_MIX, BROWSING_MIX, MarkovSession, PhaseSpec, TRANSITIONS, WorkloadMix
+
+__all__ = [
+    "APP_VM",
+    "ApplicationServer",
+    "BIDDING_MIX",
+    "BROWSING_MIX",
+    "BY_NAME",
+    "CLIENT_HOST",
+    "ClientStats",
+    "DB_VM",
+    "DatabaseServer",
+    "MarkovSession",
+    "PhaseSpec",
+    "TRANSITIONS",
+    "READ_TYPES",
+    "REQUEST_TYPES",
+    "RequestType",
+    "RubisClient",
+    "RubisConfig",
+    "RubisDeployment",
+    "TierServer",
+    "WEB_VM",
+    "WRITE_TYPES",
+    "WebServer",
+    "WorkloadMix",
+    "deploy_rubis",
+]

@@ -1,0 +1,157 @@
+"""The RUBiS client emulator.
+
+A closed-loop session generator, as in the standard RUBiS client: a fixed
+population of concurrent user sessions, each issuing requests drawn from a
+workload mix's Markov transitions, waiting for the response, thinking, and
+continuing. When a session finishes its request budget a new one starts —
+the paper reports both completed-session counts and per-type response
+times from exactly this kind of run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...sim import Event, RandomStream, Simulator, ms, seconds, to_seconds
+from ...metrics import ResponseTimeRecorder, WindowedCounter
+from ...net import Packet
+from ...testbed import ClientHost
+from .workload import MarkovSession, WorkloadMix
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class ClientStats:
+    """What the client harness measures (the paper's Table 2 inputs)."""
+
+    responses: ResponseTimeRecorder
+    throughput: WindowedCounter
+    sessions_completed: int = 0
+    session_times: list[int] = field(default_factory=list)
+
+    def mean_session_time_s(self) -> float:
+        """Average completed-session duration in seconds."""
+        if not self.session_times:
+            return 0.0
+        return to_seconds(sum(self.session_times)) / len(self.session_times)
+
+
+class RubisClient:
+    """A population of emulated user sessions on one client host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: ClientHost,
+        web_server: str,
+        mix: WorkloadMix,
+        rng: RandomStream,
+        num_sessions: int = 32,
+        requests_per_session: int = 25,
+        think_time_mean: int = ms(400),
+        warmup: int = seconds(5),
+        markov_sessions: bool = False,
+    ):
+        """With ``markov_sessions`` each session walks the full per-type
+        transition table (:class:`~repro.apps.rubis.workload.MarkovSession`)
+        instead of drawing independently from the mix — realistic
+        browse -> bid -> confirm funnels at the cost of phase control."""
+        self.sim = sim
+        self.host = host
+        self.web_server = web_server
+        self.mix = mix
+        self.rng = rng
+        self.num_sessions = num_sessions
+        self.requests_per_session = requests_per_session
+        self.think_time_mean = think_time_mean
+        self.warmup = warmup
+        self.markov_sessions = markov_sessions
+        self.stats = ClientStats(
+            responses=ResponseTimeRecorder(sim), throughput=WindowedCounter(sim)
+        )
+        self._pending: dict[int, Event] = {}
+        self.requests_sent = 0
+        self._phase = mix.phases[0] if mix.phases else None
+        if mix.phases:
+            sim.spawn(self._phase_loop(), name="rubis-phase")
+        sim.spawn(self._rx_loop(), name="rubis-client-rx")
+        for i in range(num_sessions):
+            sim.spawn(self._session_loop(i), name=f"rubis-session-{i}")
+
+    # -- global workload phases ----------------------------------------------
+
+    @property
+    def current_phase(self):
+        """The active global phase (None in per-session Markov mode)."""
+        return self._phase
+
+    def _phase_loop(self):
+        index = 0
+        while True:
+            self._phase = self.mix.phases[index % len(self.mix.phases)]
+            duration = seconds(self._phase.duration(self.rng))
+            yield self.sim.timeout(round(duration))
+            index += 1
+
+    # -- receive side -------------------------------------------------------
+
+    def _rx_loop(self):
+        while True:
+            packet: Packet = yield self.host.nic.recv()
+            request_id = packet.payload.get("http_response_to")
+            if request_id is None:
+                continue  # fragment or stray packet
+            waiter = self._pending.pop(request_id, None)
+            if waiter is not None:
+                waiter.succeed(packet)
+
+    # -- session behaviour -----------------------------------------------------
+
+    def _session_loop(self, index: int):
+        # Stagger session starts so the run does not begin with a burst.
+        yield self.sim.timeout(self.rng.randrange(0, max(1, self.think_time_mean * 2)))
+        while True:
+            session_started = self.sim.now
+            request_class = self.mix.initial_class(self.rng)
+            chain = MarkovSession(self.rng) if self.markov_sessions else None
+            for _ in range(self.requests_per_session):
+                if chain is not None:
+                    request_type = chain.next_type()
+                else:
+                    if self._phase is not None:
+                        request_class = self.mix.class_in_phase(self._phase, self.rng)
+                    request_type = self.mix.draw_type(request_class, self.rng)
+                issued = self.sim.now
+                response = yield from self._issue(request_type)
+                if response is not None and issued >= self.warmup:
+                    self.stats.responses.record(request_type.name, self.sim.now - issued)
+                    self.stats.throughput.record()
+                think = round(self.rng.exponential(self.think_time_mean))
+                yield self.sim.timeout(think)
+                request_class = self.mix.next_class(request_class, self.rng)
+            if session_started >= self.warmup:
+                self.stats.sessions_completed += 1
+                self.stats.session_times.append(self.sim.now - session_started)
+
+    def _issue(self, request_type):
+        request_id = next(_request_ids)
+        reply = self.sim.event(name=f"http-{request_id}")
+        self._pending[request_id] = reply
+        packet = Packet(
+            src=self.host.name,
+            dst=self.web_server,
+            size=request_type.request_size,
+            kind="http-req",
+            payload={
+                "request_id": request_id,
+                "request_type": request_type.name,
+                "request_class": request_type.request_class,
+            },
+        )
+        self.requests_sent += 1
+        self.host.nic.send(packet)
+        response = yield reply
+        return response

@@ -1,0 +1,125 @@
+"""The RUBiS request-type catalogue and per-tier service-demand profiles.
+
+RUBiS (an eBay-like auction site benchmark) exposes ~20 basic request
+types; the paper's Table 1 reports sixteen of them. Each type is annotated
+with:
+
+* its *class* — ``read`` (browsing: static HTML/images served by the web
+  tier, heavy web/app interaction, "practically no database server
+  processing") or ``write`` (servlet-generated dynamic content with
+  database reads/writes and heavier application-server CPU, §3.1);
+* per-tier CPU service demands (the offline profile the paper's
+  coordination relies on);
+* request/response message sizes.
+
+Demand magnitudes are calibrated so the *relative* base response times
+across types track Table 1 (e.g. PutComment and StoreBid are the most
+expensive, SellItemForm the cheapest); absolute values reflect 2008-era
+LAMP-ish stacks on a 2.66 GHz core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...sim import ms, us
+
+
+@dataclass(frozen=True, slots=True)
+class RequestType:
+    """One RUBiS request type and its resource profile."""
+
+    name: str
+    request_class: str  # "read" or "write"
+    #: Mean CPU demand at each tier (ns); zero means the tier is skipped.
+    web_demand: int
+    app_demand: int
+    db_demand: int
+    #: Client -> web request size (bytes).
+    request_size: int
+    #: Web -> client response size (bytes); read responses carry pages and
+    #: images, write responses are small confirmations.
+    response_size: int
+    #: Coefficient of variation of the per-tier demands (lognormal-ish
+    #: service-time noise).
+    demand_cv: float = 0.25
+
+    def __post_init__(self):
+        if self.request_class not in ("read", "write"):
+            raise ValueError(f"bad request class {self.request_class!r}")
+
+    @property
+    def total_demand(self) -> int:
+        """Sum of mean tier demands (ns)."""
+        return self.web_demand + self.app_demand + self.db_demand
+
+    @property
+    def uses_app(self) -> bool:
+        """Whether the request chain reaches the application server."""
+        return self.app_demand > 0
+
+    @property
+    def uses_db(self) -> bool:
+        """Whether the request chain reaches the database server."""
+        return self.db_demand > 0
+
+
+def _rt(
+    name: str,
+    request_class: str,
+    web_ms: float,
+    app_ms: float,
+    db_ms: float,
+    request_size: int = 420,
+    response_size: int = 8000,
+) -> RequestType:
+    return RequestType(
+        name=name,
+        request_class=request_class,
+        web_demand=ms(web_ms),
+        app_demand=ms(app_ms),
+        db_demand=ms(db_ms),
+        request_size=request_size,
+        response_size=response_size,
+    )
+
+
+#: The sixteen request types of the paper's Table 1, in table order.
+#: Read types are web-tier-heavy (static pages/images), write types are
+#: database-heavy (servlets with DB reads/writes) — the §3.1 profile that
+#: makes per-phase weight steering meaningful.
+REQUEST_TYPES: tuple[RequestType, ...] = (
+    _rt("Register", "write", 2.0, 4.5, 7.5, response_size=3000),
+    _rt("Browse", "read", 6.0, 2.5, 0.0, response_size=12000),
+    _rt("BrowseCategories", "read", 9.5, 3.5, 0.5, response_size=16000),
+    _rt("SearchItemsInCategory", "read", 6.5, 3.0, 0.5, response_size=10000),
+    _rt("BrowseRegions", "read", 8.0, 3.0, 0.5, response_size=14000),
+    _rt("BrowseCategoriesInRegion", "read", 6.8, 2.8, 0.5, response_size=11000),
+    _rt("SearchItemsInRegion", "read", 4.2, 2.2, 0.4, response_size=7000),
+    _rt("ViewItem", "read", 10.5, 4.5, 1.0, response_size=18000),
+    _rt("BuyNow", "write", 1.5, 2.5, 4.0, response_size=2500),
+    _rt("PutBidAuth", "write", 2.2, 4.0, 6.5, response_size=3000),
+    _rt("PutBid", "write", 2.8, 5.5, 9.0, response_size=4000),
+    _rt("StoreBid", "write", 3.0, 7.0, 16.0, response_size=2500),
+    _rt("PutComment", "write", 3.2, 8.0, 20.0, response_size=2500),
+    _rt("Sell", "write", 2.0, 3.0, 4.5, response_size=3500),
+    _rt("SellItemForm", "read", 2.6, 1.2, 0.0, response_size=3000),
+    _rt("AboutMe", "write", 2.6, 4.0, 7.0, response_size=5000),
+)
+
+BY_NAME: dict[str, RequestType] = {rt.name: rt for rt in REQUEST_TYPES}
+
+READ_TYPES: tuple[RequestType, ...] = tuple(
+    rt for rt in REQUEST_TYPES if rt.request_class == "read"
+)
+WRITE_TYPES: tuple[RequestType, ...] = tuple(
+    rt for rt in REQUEST_TYPES if rt.request_class == "write"
+)
+
+#: Per-request fixed kernel-side costs at each tier (socket + HTTP parse).
+TIER_SYS_OVERHEAD = us(150)
+#: Inter-tier call message size (SQL / servlet RPC).
+INTER_TIER_REQUEST_SIZE = 600
+#: Inter-tier response sizes.
+APP_TO_WEB_RESPONSE_SIZE = 4000
+DB_TO_APP_RESPONSE_SIZE = 1800

@@ -1,0 +1,145 @@
+"""One-call deployment of the paper's RUBiS scenario on the testbed.
+
+Builds the three tier VMs (single VCPU, 256 MB, as in §3.1), the tier
+servers, the external client host, the IXP classifier rules (deep packet
+inspection recovering the request type), and — when coordination is on —
+the request-type Tune policy between the islands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...coordination import RequestTypeTunePolicy, TierEntities
+from ...x86.background import GuestBackgroundLoad
+from ...ixp import make_payload_field_rule
+from ...metrics import CpuUtilizationSampler
+from ...sim import ms, seconds
+from ...testbed import Testbed, TestbedConfig
+from .client import RubisClient
+from .tiers import ApplicationServer, DatabaseServer, WebServer
+from .workload import BIDDING_MIX, WorkloadMix
+
+WEB_VM = "web-server"
+APP_VM = "app-server"
+DB_VM = "db-server"
+CLIENT_HOST = "rubis-client"
+
+
+@dataclass(frozen=True)
+class RubisConfig:
+    """Everything that varies between RUBiS runs."""
+
+    #: The prototype runs the messaging driver in its polling mode
+    #: (paper §2.1), so Dom0 is a constant CPU competitor.
+    testbed: TestbedConfig = TestbedConfig(driver_poll_burn_duty=0.5)
+    mix: WorkloadMix = BIDDING_MIX
+    coordinated: bool = False
+    num_sessions: int = 90
+    requests_per_session: int = 40
+    think_time_mean: int = ms(700)
+    warmup: int = seconds(8)
+    #: Tune step used by the coordination policy.
+    tune_step: int = 64
+    cpu_sample_window: int = seconds(1)
+    #: Guest-OS housekeeping duty cycle per tier VM (kernel ticks, JVM/
+    #: MySQL background threads); keeps VCPUs runnable like real guests.
+    background_duty: float = 0.10
+    #: Drive sessions with the per-type Markov transition table instead of
+    #: per-phase class draws (realistic funnels; no global phase control).
+    markov_sessions: bool = False
+
+
+@dataclass
+class RubisDeployment:
+    """Handles to every component of a deployed RUBiS scenario."""
+
+    config: RubisConfig
+    testbed: Testbed
+    client: RubisClient
+    web: WebServer
+    app: ApplicationServer
+    db: DatabaseServer
+    cpu_sampler: CpuUtilizationSampler
+    policy: Optional[RequestTypeTunePolicy] = None
+
+    @property
+    def sim(self):
+        """The deployment's simulator."""
+        return self.testbed.sim
+
+    def run(self, duration: int) -> None:
+        """Advance the scenario by ``duration``."""
+        self.testbed.run(self.testbed.sim.now + duration)
+
+
+def deploy_rubis(config: Optional[RubisConfig] = None) -> RubisDeployment:
+    """Stand up the full RUBiS scenario, ready to run."""
+    config = config or RubisConfig()
+    testbed = Testbed(config.testbed)
+    rng = testbed.rng
+
+    web_vm, web_nic = testbed.create_guest_vm(WEB_VM)
+    app_vm, app_nic = testbed.create_guest_vm(APP_VM)
+    db_vm, db_nic = testbed.create_guest_vm(DB_VM)
+    for vm in (web_vm, app_vm, db_vm):
+        GuestBackgroundLoad(testbed.sim, vm, duty=config.background_duty)
+
+    web = WebServer(testbed.sim, web_vm, web_nic, rng.stream("web-demand"), app_name=APP_VM)
+    app = ApplicationServer(
+        testbed.sim, app_vm, app_nic, rng.stream("app-demand"), db_name=DB_VM
+    )
+    db = DatabaseServer(testbed.sim, db_vm, db_nic, rng.stream("db-demand"))
+
+    # The IXP's request classification engine: DPI recovering the request
+    # type from client packets (per-VM queueing is separate, keyed on dst).
+    testbed.ixp.classifier.add_rule(
+        "rubis-request-type", make_payload_field_rule("request_type", prefix="rubis:")
+    )
+
+    host = testbed.add_client_host(CLIENT_HOST)
+    client = RubisClient(
+        testbed.sim,
+        host,
+        web_server=WEB_VM,
+        mix=config.mix,
+        rng=rng.stream("client"),
+        num_sessions=config.num_sessions,
+        requests_per_session=config.requests_per_session,
+        think_time_mean=config.think_time_mean,
+        warmup=config.warmup,
+        markov_sessions=config.markov_sessions,
+    )
+
+    policy = None
+    if config.coordinated:
+        policy = RequestTypeTunePolicy(
+            testbed.sim,
+            testbed.ixp,
+            testbed.ixp_agent,
+            TierEntities(
+                web=testbed.vm_entity(WEB_VM),
+                app=testbed.vm_entity(APP_VM),
+                db=testbed.vm_entity(DB_VM),
+            ),
+            step=config.tune_step,
+            tracer=testbed.tracer,
+        )
+
+    sampler = CpuUtilizationSampler(
+        testbed.sim,
+        [testbed.dom0, web_vm, app_vm, db_vm],
+        window=config.cpu_sample_window,
+    )
+
+    return RubisDeployment(
+        config=config,
+        testbed=testbed,
+        client=client,
+        web=web,
+        app=app,
+        db=db,
+        cpu_sampler=sampler,
+        policy=policy,
+    )

@@ -1,0 +1,227 @@
+"""The three RUBiS tiers: web server, application server, database server.
+
+Each tier runs inside its own Xen VM (paper §3.1: Apache front-end, Tomcat
+servlets, MySQL back-end in separate HVM domains) and is modelled as a
+request-driven server: packets arrive at the VM's NIC, cost kernel (sys)
+CPU, then the handler burns the tier's profiled user CPU demand and makes
+its downstream call, blocking in iowait like a real thread would.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from ...sim import Event, RandomStream, Simulator, us
+from ...net import Packet, VirtualNIC, fragment
+from ...x86.vm import VirtualMachine
+from .request_types import (
+    APP_TO_WEB_RESPONSE_SIZE,
+    BY_NAME,
+    DB_TO_APP_RESPONSE_SIZE,
+    INTER_TIER_REQUEST_SIZE,
+    TIER_SYS_OVERHEAD,
+    RequestType,
+)
+
+#: Guest kernel cost per received packet (softirq + socket delivery).
+PER_PACKET_RX_COST = us(12)
+#: Guest kernel cost per transmitted packet.
+PER_PACKET_TX_COST = us(10)
+
+_call_ids = itertools.count(1)
+
+
+class TierServer:
+    """Shared machinery: packet RX loop, RPC correlation, demand sampling.
+
+    ``stall_probability``/``stall_min``/``stall_max`` model the heavy tail
+    of real tier service times — JVM garbage-collection pauses, MySQL lock
+    convoys, Apache mutex contention. These rare multi-tens-of-ms bursts
+    are what make a FIFO tier back up and are a large part of why the
+    paper's baseline shows second-class response times at moderate CPU
+    utilisation.
+    """
+
+    #: Default heavy-tail parameters; subclasses override per stack.
+    STALL_PROBABILITY = 0.01
+    STALL_MIN = us(40_000)  # 40 ms
+    STALL_MAX = us(180_000)  # 180 ms
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vm: VirtualMachine,
+        nic: VirtualNIC,
+        rng: RandomStream,
+        stall_probability: Optional[float] = None,
+        stall_min: Optional[int] = None,
+        stall_max: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.vm = vm
+        self.nic = nic
+        self.rng = rng
+        self.stall_probability = (
+            self.STALL_PROBABILITY if stall_probability is None else stall_probability
+        )
+        self.stall_min = self.STALL_MIN if stall_min is None else stall_min
+        self.stall_max = self.STALL_MAX if stall_max is None else stall_max
+        self._pending: dict[int, Event] = {}
+        self.handled = 0
+        self.stalls = 0
+        sim.spawn(self._rx_loop(), name=f"{vm.name}-rx")
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _rx_loop(self):
+        while True:
+            packet: Packet = yield self.nic.recv()
+            yield self.vm.execute(PER_PACKET_RX_COST, kind="sys")
+            payload = packet.payload
+            if "fragment_of" in payload:
+                continue  # non-final fragment: kernel cost only
+            call_id = payload.get("rpc_response_to")
+            if call_id is not None:
+                waiter = self._pending.pop(call_id, None)
+                if waiter is not None:
+                    waiter.succeed(payload)
+                continue
+            self.sim.spawn(self._handle(packet), name=f"{self.vm.name}-handler")
+
+    def _handle(self, packet: Packet):
+        """Subclasses implement the tier's request handling."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator
+
+    def _draw(self, mean_demand: int, cv: float) -> int:
+        """Sample a service demand around its profiled mean, plus the
+        occasional heavy-tail stall (GC pause, lock convoy)."""
+        if mean_demand <= 0:
+            return 0
+        sigma = mean_demand * cv
+        demand = round(self.rng.bounded_normal(mean_demand, sigma, minimum=mean_demand * 0.2))
+        if self.stall_probability > 0 and self.rng.random() < self.stall_probability:
+            self.stalls += 1
+            demand += self.rng.randrange(self.stall_min, self.stall_max)
+        return demand
+
+    def send_message(
+        self, dst: str, total_size: int, kind: str, payload: dict[str, Any]
+    ) -> Generator:
+        """Transmit a (possibly fragmented) message, paying guest TX CPU."""
+        packets = fragment(self.vm.name, dst, total_size, kind, payload)
+        yield self.vm.execute(PER_PACKET_TX_COST * len(packets), kind="sys")
+        for packet in packets:
+            self.nic.send(packet)
+
+    def rpc(
+        self, dst: str, payload: dict[str, Any], size: int = INTER_TIER_REQUEST_SIZE
+    ) -> Generator:
+        """Blocking downstream call: returns the response payload.
+
+        The calling handler waits in guest iowait, like a worker thread
+        blocked on a socket read.
+        """
+        call_id = next(_call_ids)
+        payload = dict(payload, rpc_call_id=call_id)
+        reply = self.sim.event(name=f"rpc-{call_id}")
+        self._pending[call_id] = reply
+        yield from self.send_message(dst, size, kind="rpc-req", payload=payload)
+        response = yield from self.vm.io_wait(reply)
+        return response
+
+
+class DatabaseServer(TierServer):
+    """MySQL-like back-end: pure CPU demand per query.
+
+    Heavy tail: lock convoys and buffer-pool flushes.
+    """
+
+    STALL_PROBABILITY = 0.012
+    STALL_MIN = us(40_000)
+    STALL_MAX = us(220_000)
+
+    def _handle(self, packet: Packet):
+        request_type: RequestType = BY_NAME[packet.payload["request_type"]]
+        yield self.vm.execute(TIER_SYS_OVERHEAD, kind="sys")
+        yield self.vm.execute(
+            self._draw(request_type.db_demand, request_type.demand_cv), kind="user"
+        )
+        self.handled += 1
+        yield from self.send_message(
+            packet.src,
+            DB_TO_APP_RESPONSE_SIZE,
+            kind="rpc-resp",
+            payload={"rpc_response_to": packet.payload["rpc_call_id"]},
+        )
+
+
+class ApplicationServer(TierServer):
+    """Tomcat-like middle tier: servlet CPU + optional database call.
+
+    Heavy tail: JVM garbage-collection pauses (the worst of the three).
+    """
+
+    STALL_PROBABILITY = 0.01
+    STALL_MIN = us(40_000)
+    STALL_MAX = us(150_000)
+
+    def __init__(self, sim, vm, nic, rng, db_name: str, **stall_kwargs):
+        super().__init__(sim, vm, nic, rng, **stall_kwargs)
+        self.db_name = db_name
+
+    def _handle(self, packet: Packet):
+        request_type: RequestType = BY_NAME[packet.payload["request_type"]]
+        yield self.vm.execute(TIER_SYS_OVERHEAD, kind="sys")
+        yield self.vm.execute(
+            self._draw(request_type.app_demand, request_type.demand_cv), kind="user"
+        )
+        if request_type.uses_db:
+            yield from self.rpc(
+                self.db_name, {"request_type": request_type.name}
+            )
+        self.handled += 1
+        yield from self.send_message(
+            packet.src,
+            APP_TO_WEB_RESPONSE_SIZE,
+            kind="rpc-resp",
+            payload={"rpc_response_to": packet.payload["rpc_call_id"]},
+        )
+
+
+class WebServer(TierServer):
+    """Apache-like front end: parses requests, serves static content,
+    delegates dynamic work to the application server.
+
+    Heavy tail: small — Apache's worker model rarely stalls hard.
+    """
+
+    STALL_PROBABILITY = 0.004
+    STALL_MIN = us(20_000)
+    STALL_MAX = us(80_000)
+
+    def __init__(self, sim, vm, nic, rng, app_name: str, **stall_kwargs):
+        super().__init__(sim, vm, nic, rng, **stall_kwargs)
+        self.app_name = app_name
+
+    def _handle(self, packet: Packet):
+        request_type: RequestType = BY_NAME[packet.payload["request_type"]]
+        yield self.vm.execute(TIER_SYS_OVERHEAD, kind="sys")
+        yield self.vm.execute(
+            self._draw(request_type.web_demand, request_type.demand_cv), kind="user"
+        )
+        if request_type.uses_app:
+            yield from self.rpc(
+                self.app_name, {"request_type": request_type.name}
+            )
+        self.handled += 1
+        yield from self.send_message(
+            packet.src,
+            request_type.response_size,
+            kind="http-resp",
+            payload={
+                "http_response_to": packet.payload["request_id"],
+                "request_type": request_type.name,
+            },
+        )

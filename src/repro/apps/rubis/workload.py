@@ -1,0 +1,195 @@
+"""RUBiS client workload mixes.
+
+The standard RUBiS benchmark ships two session mixes (paper §3.1):
+
+* the **browsing mix** — read-only: static pages and images, heavy
+  web/app-server interaction, essentially no database work;
+* the **bid/browse/sell (read-write) mix** — dynamic servlet content with
+  database reads and writes.
+
+"Request traffic from the client follows probabilistic transitions
+emulating multiple user browsing sessions"; we model this as a two-level
+Markov chain: sticky transitions between the read and write *phases* (this
+is what produces the oscillation that occasionally defeats the paper's
+per-request coordination), and a per-phase distribution over request types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...sim import RandomStream
+from .request_types import BY_NAME, READ_TYPES, REQUEST_TYPES, WRITE_TYPES, RequestType
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One global workload phase: a read share and how long it lasts.
+
+    Durations are deterministic by default (``jitter`` = 0) so paired
+    base/coordinated runs see the exact same phase schedule; set ``jitter``
+    to randomise duration by up to +/- that fraction.
+    """
+
+    name: str
+    read_probability: float
+    mean_duration_s: float
+    jitter: float = 0.0
+
+    def duration(self, rng: RandomStream) -> float:
+        """Concrete duration in seconds for one occurrence of the phase."""
+        if self.jitter <= 0:
+            return self.mean_duration_s
+        spread = self.jitter * (2.0 * rng.random() - 1.0)
+        return self.mean_duration_s * (1.0 + spread)
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A session-level request generator specification.
+
+    Request classes are drawn from the *global phase* when ``phases`` is
+    set — all sessions see the same browse period or bidding storm, the
+    flash-crowd/auction-closing correlation real auction traffic exhibits
+    (and what shifts the platform bottleneck between web and db tier).
+    Without phases, each session runs its own sticky Markov chain.
+    """
+
+    name: str
+    #: Probability that the next request stays in the current class
+    #: (per-session Markov mode, used when ``phases`` is empty).
+    read_stickiness: float
+    write_stickiness: float
+    #: Relative weights of request types within each class.
+    read_weights: dict[str, float] = field(default_factory=dict)
+    write_weights: dict[str, float] = field(default_factory=dict)
+    #: Fraction of sessions starting in the read phase.
+    start_read_probability: float = 0.9
+    #: Global phases cycled through in order (empty = per-session Markov).
+    phases: tuple[PhaseSpec, ...] = ()
+
+    def initial_class(self, rng: RandomStream) -> str:
+        """Draw the class of a session's first request."""
+        return "read" if rng.random() < self.start_read_probability else "write"
+
+    def next_class(self, current: str, rng: RandomStream) -> str:
+        """Markov phase transition from the current request class."""
+        if current == "read":
+            return "read" if rng.random() < self.read_stickiness else "write"
+        return "write" if rng.random() < self.write_stickiness else "read"
+
+    def class_in_phase(self, phase: PhaseSpec, rng: RandomStream) -> str:
+        """Draw a request class under a global phase."""
+        return "read" if rng.random() < phase.read_probability else "write"
+
+    def draw_type(self, request_class: str, rng: RandomStream) -> RequestType:
+        """Draw a request type within a class."""
+        types = READ_TYPES if request_class == "read" else WRITE_TYPES
+        weights = self.read_weights if request_class == "read" else self.write_weights
+        if not weights:
+            return types[rng.randrange(len(types))]
+        return rng.weighted_choice(types, [weights.get(t.name, 1.0) for t in types])
+
+
+#: Per-type session transitions, condensed from the structure of the RUBiS
+#: client's transition table: each row maps a request type to the plausible
+#: next user actions and their relative odds. Unlisted successors get a
+#: small uniform residual, so every type remains reachable.
+TRANSITIONS: dict[str, dict[str, float]] = {
+    "Browse": {"BrowseCategories": 5, "BrowseRegions": 3, "Browse": 1},
+    "BrowseCategories": {"SearchItemsInCategory": 6, "Browse": 1, "ViewItem": 2},
+    "SearchItemsInCategory": {"ViewItem": 6, "SearchItemsInCategory": 2,
+                              "BrowseCategories": 1},
+    "BrowseRegions": {"BrowseCategoriesInRegion": 6, "Browse": 1},
+    "BrowseCategoriesInRegion": {"SearchItemsInRegion": 6, "BrowseRegions": 1},
+    "SearchItemsInRegion": {"ViewItem": 5, "SearchItemsInRegion": 2},
+    "ViewItem": {"PutBidAuth": 3, "BuyNow": 1, "ViewItem": 1,
+                 "SearchItemsInCategory": 2, "Browse": 2},
+    "PutBidAuth": {"PutBid": 8, "Browse": 1},
+    "PutBid": {"StoreBid": 7, "ViewItem": 1},
+    "StoreBid": {"Browse": 4, "ViewItem": 2, "PutComment": 1, "AboutMe": 1},
+    "BuyNow": {"Browse": 3, "AboutMe": 1},
+    "PutComment": {"Browse": 3, "AboutMe": 1},
+    "AboutMe": {"Browse": 4, "Sell": 1},
+    "Sell": {"SellItemForm": 8, "Browse": 1},
+    "SellItemForm": {"Register": 2, "Browse": 3},
+    "Register": {"Browse": 4, "Sell": 1},
+}
+
+
+class MarkovSession:
+    """Per-type Markov chain over the full request catalogue.
+
+    The standard RUBiS client drives each emulated user with a transition
+    table between request types; this is the scaled-down equivalent for
+    studies that need realistic *sequences* (e.g. PutBidAuth -> PutBid ->
+    StoreBid funnels) rather than just a class mix.
+    """
+
+    RESIDUAL_WEIGHT = 0.2
+
+    def __init__(self, rng: RandomStream, start: str = "Browse"):
+        if start not in BY_NAME:
+            raise ValueError(f"unknown request type {start!r}")
+        self.rng = rng
+        self.current = start
+
+    def next_type(self) -> RequestType:
+        """Advance the chain and return the new request type."""
+        row = TRANSITIONS.get(self.current, {})
+        names = [rt.name for rt in REQUEST_TYPES]
+        weights = [row.get(name, self.RESIDUAL_WEIGHT) for name in names]
+        chosen = self.rng.weighted_choice(names, weights)
+        self.current = chosen
+        return BY_NAME[chosen]
+
+
+#: Read-only browsing mix: every request is a read.
+BROWSING_MIX = WorkloadMix(
+    name="browsing",
+    read_stickiness=1.0,
+    write_stickiness=0.0,
+    start_read_probability=1.0,
+    read_weights={
+        "Browse": 2.0,
+        "BrowseCategories": 1.5,
+        "SearchItemsInCategory": 1.5,
+        "ViewItem": 2.0,
+        "BrowseRegions": 1.0,
+        "BrowseCategoriesInRegion": 1.0,
+        "SearchItemsInRegion": 1.0,
+        "SellItemForm": 0.5,
+    },
+)
+
+#: Bid/browse/sell read-write mix: global browse periods alternating with
+#: bidding storms (auction-close flash crowds), long-run read share ~0.6.
+BIDDING_MIX = WorkloadMix(
+    name="bid-browse-sell",
+    read_stickiness=0.85,
+    write_stickiness=0.78,
+    phases=(
+        PhaseSpec("browse-period", read_probability=0.9, mean_duration_s=10.0),
+        PhaseSpec("bidding-storm", read_probability=0.15, mean_duration_s=8.0),
+    ),
+    read_weights={
+        "Browse": 1.5,
+        "BrowseCategories": 1.2,
+        "SearchItemsInCategory": 1.5,
+        "ViewItem": 2.0,
+        "BrowseRegions": 0.8,
+        "BrowseCategoriesInRegion": 0.8,
+        "SearchItemsInRegion": 1.0,
+        "SellItemForm": 0.7,
+    },
+    write_weights={
+        "PutBid": 1.8,
+        "StoreBid": 1.5,
+        "PutBidAuth": 1.2,
+        "BuyNow": 0.8,
+        "PutComment": 0.9,
+        "Sell": 0.8,
+        "Register": 0.6,
+        "AboutMe": 0.8,
+    },
+)

@@ -1,0 +1,38 @@
+"""The coordination layer: standard Tune/Trigger mechanisms, channel agents
+and the paper's three coordination policies."""
+
+from .agent import MESSAGE_HANDLING_COST, CoordinationAgent
+from .buffer_monitor import DEFAULT_THRESHOLD_BYTES, BufferMonitorTriggerPolicy
+from .coschedule import GpuCoschedulePolicy
+from .messages import CoordinationMessage, RegisterMessage, TriggerMessage, TuneMessage
+from .mplayer_policy import (
+    HIGH_BITRATE_BPS,
+    HIGH_FRAMERATE_FPS,
+    STAGE_BITRATE,
+    STAGE_FRAMERATE,
+    STAGE_OFF,
+    StreamQoSTunePolicy,
+    StreamState,
+)
+from .rubis_policy import RequestTypeTunePolicy, TierEntities
+
+__all__ = [
+    "BufferMonitorTriggerPolicy",
+    "CoordinationAgent",
+    "CoordinationMessage",
+    "GpuCoschedulePolicy",
+    "DEFAULT_THRESHOLD_BYTES",
+    "HIGH_BITRATE_BPS",
+    "HIGH_FRAMERATE_FPS",
+    "MESSAGE_HANDLING_COST",
+    "RegisterMessage",
+    "RequestTypeTunePolicy",
+    "STAGE_BITRATE",
+    "STAGE_FRAMERATE",
+    "STAGE_OFF",
+    "StreamQoSTunePolicy",
+    "StreamState",
+    "TierEntities",
+    "TriggerMessage",
+    "TuneMessage",
+]

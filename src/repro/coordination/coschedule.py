@@ -1,0 +1,57 @@
+"""GPU/CPU co-scheduling policy (the paper's GViM motivation).
+
+§1: "there are additional examples that demonstrate the need for
+coordinated resource management, including recent work in which
+performance improvements are gained by better co-scheduling tasks on
+graphics vs. x86 cores to attain desired levels of parallelism."
+
+The pathology: a hybrid application alternates CPU phases and GPU kernels.
+Its VM blocks while a kernel runs, so a CPU-hungry neighbour absorbs the
+cores; when the kernel completes, the hybrid VM — whose CPU appetite keeps
+its credits negative — wakes into the OVER band and waits out the
+neighbour's slices before it can even *launch* the next kernel. Both the
+CPU and the GPU sit on the critical path and each idles while the other's
+manager dithers.
+
+The policy: the GPU island Triggers the VM's x86 island entity at every
+kernel-completion, so the CPU phase starts immediately — two resource
+managers handing the baton instead of dropping it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..platform import EntityId
+from ..sim import Simulator, Tracer
+from ..gpu.island import GPUIsland
+from .agent import CoordinationAgent
+
+
+class GpuCoschedulePolicy:
+    """Trigger the kernel owner's VM on every kernel completion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpu: GPUIsland,
+        agent: CoordinationAgent,
+        vm_entities: dict[str, EntityId],
+        tracer: Optional[Tracer] = None,
+    ):
+        """``vm_entities`` maps GPU context names to the x86 entities to
+        boost; ``agent`` must be the GPU-side agent toward x86."""
+        self.sim = sim
+        self.agent = agent
+        self.vm_entities = vm_entities
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self.triggers_sent = 0
+        gpu.device.on_kernel_complete = self._on_kernel_complete
+
+    def _on_kernel_complete(self, context_name: str, launch) -> None:
+        entity = self.vm_entities.get(context_name)
+        if entity is None:
+            return
+        self.triggers_sent += 1
+        self.agent.send_trigger(entity, reason="kernel-complete")
+        self.tracer.emit("cosched", "trigger", context=context_name)

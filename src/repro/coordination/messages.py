@@ -1,0 +1,65 @@
+"""Coordination message formats.
+
+The paper distills two standard mechanisms (§3.3):
+
+* **Tune** — "messages containing a process or VM identifier and a +/-
+  numerical value can be used to request resource adjustment that, at the
+  remote island, will get translated into corresponding weight or priority
+  adjustments, depending on the remote island's scheduling algorithm".
+* **Trigger** — "an immediate notification, like an interrupt between two
+  islands ... request resource allocation for a particular process in a
+  remote island as soon as possible".
+
+Registration messages implement §2.3's boot-time entity registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platform import EntityId
+
+
+@dataclass(frozen=True, slots=True)
+class TuneMessage:
+    """Fine-grained resource adjustment request for a remote entity."""
+
+    entity: EntityId
+    delta: int
+    #: Free-form reason tag, kept for tracing/debugging (e.g. the request
+    #: type that motivated the adjustment).
+    reason: str = ""
+    #: Send timestamp (simulation ns), stamped by the sending agent so the
+    #: receive side can measure end-to-end application latency. -1 when
+    #: constructed outside an agent.
+    sent_at: int = -1
+
+    def __repr__(self) -> str:
+        sign = "+" if self.delta >= 0 else ""
+        return f"Tune({self.entity}, {sign}{self.delta}, {self.reason!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class TriggerMessage:
+    """Immediate, preemptive resource-allocation request."""
+
+    entity: EntityId
+    reason: str = ""
+    #: Send timestamp (simulation ns); see :class:`TuneMessage.sent_at`.
+    sent_at: int = -1
+
+    def __repr__(self) -> str:
+        return f"Trigger({self.entity}, {self.reason!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterMessage:
+    """Announce that an entity was deployed on some island."""
+
+    entity: EntityId
+
+    def __repr__(self) -> str:
+        return f"Register({self.entity})"
+
+
+CoordinationMessage = TuneMessage | TriggerMessage | RegisterMessage

@@ -1,0 +1,77 @@
+"""Experiment drivers: one callable + renderer per paper table/figure.
+
+| Artefact | Runner | Renderer |
+|---|---|---|
+| Figure 2 | :func:`run_rubis_pair` | :func:`render_figure2` |
+| Figure 4 | :func:`run_rubis_pair` | :func:`render_figure4` |
+| Table 1  | :func:`run_rubis_pair` | :func:`render_table1` |
+| Table 2  | :func:`run_rubis_pair` | :func:`render_table2` |
+| Figure 5 | :func:`run_rubis_pair` | :func:`render_figure5` |
+| Figure 6 | :func:`run_qos_ladder` | :func:`render_figure6` |
+| Figure 7 | :func:`run_trigger_pair` | :func:`render_figure7` |
+| Table 3  | :func:`run_trigger_pair` | :func:`render_table3` |
+"""
+
+from .mplayer import (
+    QoSLadderResult,
+    TriggerPairResult,
+    TriggerRunResult,
+    render_figure6,
+    render_figure7,
+    render_table3,
+    run_qos_ladder,
+    run_trigger_arm,
+    run_trigger_pair,
+    trigger_config,
+)
+from .power import (
+    PowerCapArmResult,
+    PowerCapResult,
+    render_power_cap,
+    run_power_cap,
+    run_power_cap_arm,
+)
+from .report import percent_change, render_bars, render_minmax, render_series, render_table
+from .rubis import (
+    RubisPairResult,
+    RubisRunResult,
+    render_figure2,
+    render_figure4,
+    render_figure5,
+    render_table1,
+    render_table2,
+    run_rubis,
+    run_rubis_pair,
+)
+
+__all__ = [
+    "QoSLadderResult",
+    "RubisPairResult",
+    "RubisRunResult",
+    "TriggerPairResult",
+    "TriggerRunResult",
+    "PowerCapArmResult",
+    "PowerCapResult",
+    "render_power_cap",
+    "run_power_cap",
+    "run_power_cap_arm",
+    "percent_change",
+    "render_bars",
+    "render_figure2",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_minmax",
+    "render_series",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "run_qos_ladder",
+    "run_rubis",
+    "run_rubis_pair",
+    "run_trigger_arm",
+    "run_trigger_pair",
+    "trigger_config",
+]

@@ -1,0 +1,118 @@
+"""ASCII rendering of experiment results (the paper's tables and figures).
+
+Everything renders to plain strings so experiment drivers, examples and
+benchmarks can print identical artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_bars(
+    items: Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+    maximum: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart; one bar per (label, value)."""
+    if not items:
+        return title
+    peak = maximum if maximum is not None else max(v for _, v in items)
+    peak = max(peak, 1e-12)
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def render_minmax(
+    items: Sequence[tuple[str, float, float]],
+    width: int = 60,
+    unit: str = "ms",
+    title: str = "",
+) -> str:
+    """Min-max range chart (the paper's Figures 2 and 4).
+
+    Each row draws ``[min .. max]`` as a positioned span.
+    """
+    if not items:
+        return title
+    peak = max(high for _, _, high in items)
+    peak = max(peak, 1e-12)
+    label_width = max(len(label) for label, _, _ in items)
+    lines = [title] if title else []
+    for label, low, high in items:
+        start = round(width * low / peak)
+        end = max(start + 1, round(width * high / peak))
+        span = " " * start + "|" + "=" * (end - start - 1) + "|"
+        lines.append(
+            f"{label.ljust(label_width)} {span.ljust(width + 2)} "
+            f"min={low:.0f}{unit} max={high:.0f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    points: Sequence[tuple[float, float]],
+    height: int = 12,
+    width: int = 72,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Down-sampled ASCII line plot of a (time, value) series."""
+    if not points:
+        return title
+    values = [v for _, v in points]
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    # Resample to the plot width.
+    step = max(1, len(points) // width)
+    sampled = [points[i] for i in range(0, len(points), step)][:width]
+    grid = [[" "] * len(sampled) for _ in range(height)]
+    for x, (_, value) in enumerate(sampled):
+        y = round((value - lo) / (hi - lo) * (height - 1))
+        grid[height - 1 - y][x] = "*"
+    lines = [title] if title else []
+    lines.append(f"{hi:10.1f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{lo:10.1f} +" + "".join(grid[-1]))
+    if y_label:
+        lines.append(" " * 12 + y_label)
+    return "\n".join(lines)
+
+
+def percent_change(before: float, after: float) -> float:
+    """Relative change in percent (positive = increase)."""
+    if before == 0:
+        raise ValueError("cannot compute percent change from zero")
+    return (after - before) / before * 100.0

@@ -1,0 +1,13 @@
+"""The GPU island: a third scheduling-island type (paper §1's GViM
+co-scheduling motivation), sharing the standard Tune/Trigger interface."""
+
+from .device import LAUNCH_OVERHEAD, GpuContext, GpuDevice, KernelLaunch
+from .island import GPUIsland
+
+__all__ = [
+    "GPUIsland",
+    "GpuContext",
+    "GpuDevice",
+    "KernelLaunch",
+    "LAUNCH_OVERHEAD",
+]

@@ -1,0 +1,149 @@
+"""A GPU device shared by VMs through per-context kernel queues.
+
+The paper's introduction points at GPU/x86 co-scheduling (GViM, Hong &
+Kim) as another place where independent resource managers must coordinate.
+This device model captures what matters for that argument: VMs own *GPU
+contexts*; each context queues kernel launches; a runlist scheduler serves
+contexts weighted-round-robin, one kernel at a time (no preemption — 2010
+GPUs ran kernels to completion).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..sim import Event, Simulator, Tracer, us
+
+#: Fixed launch overhead per kernel (driver + DMA of arguments).
+LAUNCH_OVERHEAD = us(15)
+
+
+@dataclass
+class KernelLaunch:
+    """One queued kernel execution request."""
+
+    context_name: str
+    demand: int
+    done: Event
+    enqueued_at: int
+    started_at: Optional[int] = None
+
+
+class GpuContext:
+    """A VM's execution context on the device (the Tune target)."""
+
+    def __init__(self, device: "GpuDevice", name: str, weight: int = 100):
+        self.device = device
+        self.name = name
+        self.weight = max(1, weight)
+        self.pending: deque[KernelLaunch] = deque()
+        self.kernels_completed = 0
+        self.busy_time = 0
+        self.total_wait = 0
+        self._deficit = 0.0
+
+    def launch(self, demand: int) -> Event:
+        """Queue a kernel; the event fires at completion."""
+        return self.device.submit(self.name, demand)
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+
+class GpuDevice:
+    """The device engine: weighted round-robin runlist over contexts."""
+
+    def __init__(self, sim: Simulator, name: str = "gpu0",
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.name = name
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self.contexts: dict[str, GpuContext] = {}
+        self.kernels_served = 0
+        self.busy_time = 0
+        self._wakeup: Optional[Event] = None
+        #: Invoked with (context_name, launch) at each kernel completion —
+        #: the co-scheduling policy's tap.
+        self.on_kernel_complete: Optional[Callable[[str, KernelLaunch], None]] = None
+        sim.spawn(self._engine(), name=f"{name}-engine")
+
+    # -- context management --------------------------------------------------
+
+    def create_context(self, name: str, weight: int = 100) -> GpuContext:
+        """Create a VM's context."""
+        if name in self.contexts:
+            raise ValueError(f"context {name!r} already exists")
+        context = GpuContext(self, name, weight)
+        self.contexts[name] = context
+        return context
+
+    def adjust_weight(self, name: str, delta: int) -> int:
+        """Tune translation: runlist service weight."""
+        context = self.contexts[name]
+        context.weight = max(1, context.weight + delta)
+        return context.weight
+
+    def prioritize(self, name: str) -> None:
+        """Trigger translation: the context's next kernel jumps the runlist
+        (served immediately after the in-flight kernel completes)."""
+        context = self.contexts[name]
+        context._deficit += 10 * max(
+            (c._deficit for c in self.contexts.values()), default=0.0
+        ) + 1.0
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, context_name: str, demand: int) -> Event:
+        """Queue a kernel launch on a context."""
+        if demand <= 0:
+            raise ValueError(f"kernel demand must be positive, got {demand}")
+        context = self.contexts[context_name]
+        launch = KernelLaunch(
+            context_name=context_name,
+            demand=demand,
+            done=self.sim.event(name=f"kernel-{context_name}"),
+            enqueued_at=self.sim.now,
+        )
+        context.pending.append(launch)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return launch.done
+
+    # -- engine -------------------------------------------------------------------
+
+    def _pick(self) -> Optional[GpuContext]:
+        backlogged = [c for c in self.contexts.values() if c.pending]
+        if not backlogged:
+            return None
+        total = sum(c.weight for c in backlogged)
+        for context in backlogged:
+            context._deficit += context.weight / total
+        chosen = max(backlogged, key=lambda c: c._deficit)
+        chosen._deficit -= 1.0
+        return chosen
+
+    def _engine(self):
+        while True:
+            context = self._pick()
+            if context is None:
+                self._wakeup = self.sim.event(name=f"{self.name}-idle")
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            launch = context.pending.popleft()
+            launch.started_at = self.sim.now
+            context.total_wait += self.sim.now - launch.enqueued_at
+            yield self.sim.timeout(LAUNCH_OVERHEAD + launch.demand)
+            context.busy_time += launch.demand
+            self.busy_time += launch.demand
+            context.kernels_completed += 1
+            self.kernels_served += 1
+            launch.done.succeed(launch)
+            if self.on_kernel_complete is not None:
+                self.on_kernel_complete(context.name, launch)
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` spent executing kernels."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0

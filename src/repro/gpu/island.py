@@ -1,0 +1,53 @@
+"""The GPU scheduling island.
+
+A third island type, proving the coordination interface's generality: the
+paper's §1 names "an island with x86 vs. GPU cores" as an island boundary
+and cites GViM-style co-scheduling gains as motivating evidence. The GPU's
+resource manager is the device runlist; its Tune translation is context
+weight, its Trigger translation is a runlist jump.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..platform import EntityId, Island
+from ..sim import Simulator, Tracer
+from .device import GpuContext, GpuDevice
+
+
+class GPUIsland(Island):
+    """GPU cores under the device runlist scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "gpu",
+        tracer: Optional[Tracer] = None,
+    ):
+        super().__init__(sim, name, tracer=tracer)
+        self.device = GpuDevice(sim, name=f"{name}-dev", tracer=self.tracer)
+
+    def create_context(self, vm_name: str, weight: int = 100) -> GpuContext:
+        """Create a VM's context and register it for coordination."""
+        context = self.device.create_context(vm_name, weight)
+        self.register_entity(EntityId(self.name, vm_name), context)
+        return context
+
+    def _resolve(self, entity_id: EntityId) -> GpuContext:
+        entity = self.entity(entity_id)
+        if not isinstance(entity, GpuContext):
+            raise TypeError(f"{entity_id} is not a GPU context on island {self.name!r}")
+        return entity
+
+    def apply_tune(self, entity_id: EntityId, delta: int) -> None:
+        """Tune -> runlist weight adjustment."""
+        context = self._resolve(entity_id)
+        applied = self.device.adjust_weight(context.name, delta)
+        self.tracer.emit(self.name, "tune-applied", context=context.name, weight=applied)
+
+    def apply_trigger(self, entity_id: EntityId) -> None:
+        """Trigger -> the context's next kernel jumps the runlist."""
+        context = self._resolve(entity_id)
+        self.device.prioritize(context.name)
+        self.tracer.emit(self.name, "trigger-applied", context=context.name)

@@ -1,0 +1,26 @@
+"""Host-IXP interconnect: PCIe DMA, message rings, the Dom0 messaging
+driver, and the PCI-config-space coordination channel."""
+
+from .channel import DEFAULT_CHANNEL_LATENCY, ChannelEndpoint, CoordinationChannel
+from .driver import (
+    PER_PACKET_RX_COST,
+    PER_PACKET_TX_COST,
+    SERVICE_COST,
+    MessagingDriver,
+)
+from .msgq import MessageRing
+from .pcie import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, PCIeBus
+
+__all__ = [
+    "ChannelEndpoint",
+    "CoordinationChannel",
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_CHANNEL_LATENCY",
+    "DEFAULT_LATENCY",
+    "MessageRing",
+    "MessagingDriver",
+    "PCIeBus",
+    "PER_PACKET_RX_COST",
+    "PER_PACKET_TX_COST",
+    "SERVICE_COST",
+]

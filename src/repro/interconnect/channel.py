@@ -1,0 +1,106 @@
+"""The inter-island coordination channel.
+
+"Part of the PCI configuration space of the IXP device is used to setup a
+coordination channel between the IXP and the x86 host, used for exchanging
+messages between the two islands which drive various coordination schemes"
+(paper §2.3). The channel is symmetric, message-based and — critically for
+the paper's observed artefacts — *slow*: one-way latency is a first-class
+knob, swept by the channel-latency ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim import Simulator, Tracer, us
+
+#: Default one-way delivery latency over the PCI-config-space mailbox.
+DEFAULT_CHANNEL_LATENCY = us(150)
+
+MessageHandler = Callable[[Any], None]
+
+
+class ChannelEndpoint:
+    """One side of the coordination channel."""
+
+    def __init__(self, channel: "CoordinationChannel", name: str):
+        self.channel = channel
+        self.name = name
+        self._handler: Optional[MessageHandler] = None
+        self._peer: Optional["ChannelEndpoint"] = None
+        self.sent = 0
+        self.received = 0
+
+    def set_receiver(self, handler: MessageHandler) -> None:
+        """Register the callback invoked for each delivered message."""
+        self._handler = handler
+
+    def send(self, message: Any) -> None:
+        """Deliver ``message`` to the peer after the channel latency.
+
+        Lossy channels silently drop messages with the configured
+        probability (counted on the channel).
+        """
+        if self._peer is None:
+            raise RuntimeError(f"endpoint {self.name!r} is not connected")
+        self.sent += 1
+        channel = self.channel
+        if channel.loss_probability > 0 and channel.rng.random() < channel.loss_probability:
+            channel.messages_lost += 1
+            channel.tracer.emit("channel", "msg-lost", frm=self.name)
+            return
+        channel.tracer.emit(
+            "channel", "msg-sent", frm=self.name, to=self._peer.name,
+            message=repr(message),
+        )
+        peer = self._peer
+        channel.sim.call_in(channel.latency, lambda: peer._receive(message))
+
+    def _receive(self, message: Any) -> None:
+        self.received += 1
+        if self._handler is None:
+            raise RuntimeError(f"endpoint {self.name!r} received a message but has no handler")
+        self._handler(message)
+
+
+class CoordinationChannel:
+    """A bidirectional mailbox pair between two islands."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: int = DEFAULT_CHANNEL_LATENCY,
+        a_name: str = "ixp",
+        b_name: str = "x86",
+        loss_probability: float = 0.0,
+        rng: Optional[object] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        """``loss_probability`` drops each message independently — failure
+        injection for testing that coordination degrades gracefully (the
+        mailbox is unacknowledged, like the prototype's config-space
+        channel). Requires ``rng`` (a RandomStream) when non-zero."""
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {loss_probability}")
+        if loss_probability > 0 and rng is None:
+            raise ValueError("a random stream is required for lossy channels")
+        self.sim = sim
+        self.latency = latency
+        self.loss_probability = loss_probability
+        self.rng = rng
+        self.messages_lost = 0
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self.a = ChannelEndpoint(self, a_name)
+        self.b = ChannelEndpoint(self, b_name)
+        self.a._peer = self.b
+        self.b._peer = self.a
+
+    def endpoint(self, name: str) -> ChannelEndpoint:
+        """Fetch an endpoint by island name."""
+        if name == self.a.name:
+            return self.a
+        if name == self.b.name:
+            return self.b
+        raise KeyError(f"channel has endpoints {self.a.name!r}/{self.b.name!r}, not {name!r}")

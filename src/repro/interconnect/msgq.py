@@ -1,0 +1,63 @@
+"""Host-IXP message queues (descriptor rings).
+
+"Communication with the host is performed via one or more message queues
+between Dom0 and the IXP. The message queues contain descriptors to
+locations in a buffer pool region where packet payloads reside" (paper
+§2.1). We carry the packet object itself as the descriptor; capacity is in
+descriptors, as in the real rings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Simulator, Store, StoreGet
+from ..net import Packet
+
+
+class MessageRing:
+    """A bounded descriptor ring with a non-empty notification hook."""
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 1024):
+        self.sim = sim
+        self.name = name
+        self._store: Store[Packet] = Store(sim, capacity=capacity, name=name)
+        #: Invoked (if set) whenever a descriptor lands in an empty ring —
+        #: this is the hardware's "interrupt the host" hookup point.
+        self.on_first_descriptor: Optional[Callable[[], None]] = None
+        self.pushed = 0
+        self.full_rejections = 0
+
+    @property
+    def capacity(self) -> int:
+        """Ring size in descriptors."""
+        return self._store.capacity or 0
+
+    def push(self, packet: Packet) -> bool:
+        """Post a descriptor; False when the ring is full."""
+        was_empty = len(self._store) == 0
+        if not self._store.try_put(packet):
+            self.full_rejections += 1
+            return False
+        self.pushed += 1
+        if was_empty and self.on_first_descriptor is not None:
+            self.on_first_descriptor()
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        """Take one descriptor without blocking (None when empty)."""
+        return self._store.try_get()
+
+    def get(self) -> StoreGet:
+        """Blocking take: event that fires with the next descriptor."""
+        return self._store.get()
+
+    def cancel_get(self, event: StoreGet) -> bool:
+        """Withdraw a pending blocking take."""
+        return self._store.cancel_get(event)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return f"<MessageRing {self.name} {len(self)}/{self.capacity}>"

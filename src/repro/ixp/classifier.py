@@ -1,0 +1,67 @@
+"""The request/stream classification engine running on Rx microengines.
+
+Classification is pluggable: rules map a packet to a flow name plus
+arbitrary annotations (e.g. the RUBiS request type recovered by deep packet
+inspection, or the destination VM of an RTP stream). Rules are pure
+functions; the CPU cost of running them is charged to the microengine by
+the Rx pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..net import Packet
+
+#: A rule inspects a packet and returns the flow name it belongs to (or
+#: None to pass to the next rule).
+ClassifierRule = Callable[[Packet], Optional[str]]
+
+
+class Classifier:
+    """Ordered rule chain with a default flow for unmatched packets."""
+
+    def __init__(self, default_flow: str = "default"):
+        self.default_flow = default_flow
+        self._rules: list[tuple[str, ClassifierRule]] = []
+        self.classified = 0
+        self.by_flow: dict[str, int] = {}
+
+    def add_rule(self, name: str, rule: ClassifierRule) -> None:
+        """Append a rule; earlier rules win."""
+        self._rules.append((name, rule))
+
+    def classify(self, packet: Packet) -> str:
+        """Assign (and record on the packet) the flow for ``packet``."""
+        flow = None
+        for _name, rule in self._rules:
+            flow = rule(packet)
+            if flow is not None:
+                break
+        if flow is None:
+            flow = self.default_flow
+        packet.flow = flow
+        self.classified += 1
+        self.by_flow[flow] = self.by_flow.get(flow, 0) + 1
+        return flow
+
+
+def classify_by_destination(packet: Packet) -> Optional[str]:
+    """The MPlayer-style rule: flow = destination VM 'IP' (host name)."""
+    return packet.dst
+
+
+def make_payload_field_rule(field: str, prefix: str = "") -> ClassifierRule:
+    """DPI-style rule: flow named after a payload field (if present).
+
+    With ``field="request_type"`` this models the RUBiS request
+    classification engine performing deep packet inspection.
+    """
+
+    def rule(packet: Packet) -> Optional[str]:
+        value = packet.payload.get(field)
+        if value is None:
+            return None
+        return f"{prefix}{value}"
+
+    return rule

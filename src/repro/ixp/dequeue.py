@@ -1,0 +1,163 @@
+"""The weighted dequeue engine: flow queues -> DMA -> host RX ring.
+
+This is the paper's scheduler-like functionality "on top of round-robin
+switching" (§2.1): quality of service for classified flows is managed by
+tuning the number of threads assigned to each flow queue and their polling
+intervals. The engine owns a pool of PCI-Tx hardware threads and divides
+them among flow queues in proportion to each queue's ``service_weight`` —
+the IXP island's translation of the **Tune** mechanism re-runs the
+division.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Interrupt, Simulator, Tracer
+from ..interconnect import MessageRing, PCIeBus
+from .flowqueue import FlowQueue
+from .microengine import HardwareThread
+from .params import IXPParams
+
+
+class WeightedDequeuer:
+    """Thread pool serving flow queues by weight."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        threads: list[HardwareThread],
+        pcie: PCIeBus,
+        host_rx_ring: MessageRing,
+        params: IXPParams,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.sim = sim
+        self.threads = threads
+        self.pcie = pcie
+        self.host_rx_ring = host_rx_ring
+        self.params = params
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self._queues: list[FlowQueue] = []
+        self._assignment: list[Optional[FlowQueue]] = [None] * len(threads)
+        self._slot_state = ["parked"] * len(threads)
+        self._slot_process = [None] * len(threads)
+        self._park_events = [None] * len(threads)
+        self.shipped = 0
+        self.ring_full_stalls = 0
+        for slot, thread in enumerate(threads):
+            self._slot_process[slot] = sim.spawn(
+                self._thread_loop(slot, thread), name=f"deq-{thread.name}"
+            )
+
+    # -- queue management ---------------------------------------------------
+
+    def add_queue(self, queue: FlowQueue) -> None:
+        """Start serving a new flow queue."""
+        self._queues.append(queue)
+        self.rebalance()
+
+    def threads_for(self, queue: FlowQueue) -> int:
+        """How many threads currently serve ``queue``."""
+        return sum(1 for q in self._assignment if q is queue)
+
+    def rebalance(self) -> None:
+        """Recompute the thread -> queue map from service weights.
+
+        Largest-remainder apportionment with a floor of one thread per
+        non-empty weight class, so no registered VM's queue is starved
+        outright even at minimum weight.
+        """
+        queues = [q for q in self._queues]
+        new_assignment: list[Optional[FlowQueue]] = [None] * len(self.threads)
+        if queues:
+            total_weight = sum(q.service_weight for q in queues)
+            n = len(self.threads)
+            shares = [(q, q.service_weight * n / total_weight) for q in queues]
+            counts = {q: max(1, int(share)) for q, share in shares} if n >= len(queues) else {}
+            if not counts:  # more queues than threads: top weights win
+                ranked = sorted(queues, key=lambda q: -q.service_weight)
+                counts = {q: (1 if i < n else 0) for i, q in enumerate(ranked)}
+            # Distribute leftover threads by largest fractional remainder.
+            used = sum(counts.values())
+            remainders = sorted(
+                shares, key=lambda pair: pair[1] - int(pair[1]), reverse=True
+            )
+            i = 0
+            while used < n and remainders:
+                queue = remainders[i % len(remainders)][0]
+                counts[queue] = counts.get(queue, 0) + 1
+                used += 1
+                i += 1
+            while used > n:  # floors overshot: trim the largest allocations
+                victim = max(counts, key=lambda q: counts[q])
+                counts[victim] -= 1
+                used -= 1
+            slot = 0
+            for queue in queues:
+                for _ in range(counts.get(queue, 0)):
+                    new_assignment[slot] = queue
+                    slot += 1
+
+        changed = [
+            slot
+            for slot in range(len(self.threads))
+            if new_assignment[slot] is not self._assignment[slot]
+        ]
+        self._assignment = new_assignment
+        self.tracer.emit(
+            "dequeuer",
+            "rebalance",
+            assignment={q.name: self.threads_for(q) for q in queues},
+        )
+        # Kick re-assigned threads that are idle (waiting or parked); busy
+        # threads pick up the new assignment after their current packet.
+        for slot in changed:
+            if self._slot_state[slot] in ("waiting", "parked"):
+                process = self._slot_process[slot]
+                if process is not None and process.is_alive:
+                    process.interrupt("reassigned")
+
+    # -- thread task image -------------------------------------------------------
+
+    def _thread_loop(self, slot: int, thread: HardwareThread):
+        while True:
+            queue = self._assignment[slot]
+            if queue is None:
+                self._slot_state[slot] = "parked"
+                park = self.sim.event(name=f"park-{thread.name}")
+                self._park_events[slot] = park
+                try:
+                    yield park
+                except Interrupt:
+                    pass
+                continue
+
+            self._slot_state[slot] = "waiting"
+            get_event = queue.get()
+            try:
+                packet = yield get_event
+            except Interrupt:
+                if get_event.triggered:
+                    packet = get_event.value  # raced with arrival: ship it
+                else:
+                    queue.cancel_get(get_event)
+                    continue
+
+            self._slot_state[slot] = "busy"
+            yield from self._ship(thread, queue, packet)
+
+    def _ship(self, thread: HardwareThread, queue: FlowQueue, packet):
+        # Descriptor read + DMA issue.
+        yield from thread.compute(self.params.dequeue_cycles)
+        yield from thread.mem("sram")
+        yield from self.pcie.dma(packet.size)
+        packet.stamp("pci-dma", self.sim.now)
+        while not self.host_rx_ring.push(packet):
+            # Host ring full: back off briefly and retry (hardware engines
+            # spin on the ring's consumer index the same way).
+            self.ring_full_stalls += 1
+            yield self.sim.timeout(self.params.memory.dram * 8)
+        self.shipped += 1
+        if queue.poll_interval > 0:
+            yield self.sim.timeout(queue.poll_interval)

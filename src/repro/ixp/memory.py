@@ -1,0 +1,73 @@
+"""The IXP memory hierarchy: latency model plus buffer-pool accounting.
+
+Packet payloads live in external DRAM, descriptors in external SRAM; both
+are also mapped into the host address space (paper §2.1). The
+:class:`BufferPool` tracks DRAM bytes in use so the system-level
+buffer-monitoring coordination policy (Figure 7) has something real to
+watch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator, Tracer
+from .params import MemoryLatencies
+
+
+class MemoryHierarchy:
+    """Access-latency oracle for the four levels of IXP memory."""
+
+    LEVELS = ("local", "scratch", "sram", "dram")
+
+    def __init__(self, latencies: Optional[MemoryLatencies] = None):
+        self.latencies = latencies or MemoryLatencies()
+        self.accesses = {level: 0 for level in self.LEVELS}
+
+    def latency(self, level: str) -> int:
+        """Access latency for one reference to ``level``."""
+        if level not in self.LEVELS:
+            raise ValueError(f"unknown memory level {level!r}; expected one of {self.LEVELS}")
+        self.accesses[level] += 1
+        return getattr(self.latencies, level)
+
+
+class BufferPool:
+    """Byte-granularity accounting of the DRAM packet-buffer region."""
+
+    def __init__(
+        self, sim: Simulator, capacity_bytes: int, name: str = "dram-pool",
+        tracer: Optional[Tracer] = None,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity_bytes
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self.in_use = 0
+        self.high_watermark = 0
+        self.allocation_failures = 0
+
+    def allocate(self, size: int) -> bool:
+        """Reserve ``size`` bytes; False (and a counted failure) when full."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        if self.in_use + size > self.capacity:
+            self.allocation_failures += 1
+            return False
+        self.in_use += size
+        if self.in_use > self.high_watermark:
+            self.high_watermark = self.in_use
+        return True
+
+    def free(self, size: int) -> None:
+        """Release ``size`` bytes back to the pool."""
+        if size > self.in_use:
+            raise ValueError(f"freeing {size} bytes but only {self.in_use} in use")
+        self.in_use -= size
+
+    @property
+    def available(self) -> int:
+        """Bytes not currently allocated."""
+        return self.capacity - self.in_use

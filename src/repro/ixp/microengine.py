@@ -1,0 +1,86 @@
+"""Microengines: the IXP's packet-processing cores.
+
+Each microengine executes one hardware thread at a time; by default the
+hardware rotates threads round-robin, "with context switches occurring on
+each memory reference" (paper §2.1). We model the single-issue pipeline as
+a unit resource: a thread holds it while executing instruction cycles and
+releases it across memory references, so compute from different threads
+interleaves exactly the way the latency-hiding hardware does it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim import Resource, Simulator
+from .memory import MemoryHierarchy
+from .params import IXPParams, cycles
+
+
+class Microengine:
+    """One 8-way hyper-threaded RISC core."""
+
+    def __init__(self, sim: Simulator, index: int, memory: MemoryHierarchy, num_threads: int = 8):
+        self.sim = sim
+        self.index = index
+        self.memory = memory
+        self.num_threads = num_threads
+        self.pipeline = Resource(sim, capacity=1, name=f"me{index}-pipeline")
+        self.busy_time = 0
+        self._threads_allocated = 0
+
+    def allocate_thread(self, task_name: str) -> "HardwareThread":
+        """Claim one of the ME's hardware contexts for a task image."""
+        if self._threads_allocated >= self.num_threads:
+            raise RuntimeError(f"microengine {self.index} has no free threads")
+        thread = HardwareThread(self, self._threads_allocated, task_name)
+        self._threads_allocated += 1
+        return thread
+
+    @property
+    def threads_free(self) -> int:
+        """Hardware contexts not yet allocated to a task."""
+        return self.num_threads - self._threads_allocated
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` the pipeline was executing instructions."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return f"<Microengine {self.index} threads={self._threads_allocated}/{self.num_threads}>"
+
+
+class HardwareThread:
+    """A hardware context on a microengine.
+
+    Task images are written as plain generator processes that call
+    ``yield from thread.compute(n_cycles)`` and
+    ``yield from thread.mem(level)``; the thread takes care of pipeline
+    arbitration and context-switch semantics.
+    """
+
+    def __init__(self, me: Microengine, index: int, task_name: str):
+        self.me = me
+        self.index = index
+        self.task_name = task_name
+        self.name = f"me{me.index}.t{index}({task_name})"
+        self.compute_time = 0
+
+    def compute(self, n_cycles: float) -> Generator:
+        """Execute ``n_cycles`` instruction cycles (holds the pipeline)."""
+        duration = cycles(n_cycles)
+        request = self.me.pipeline.request()
+        yield request
+        try:
+            yield self.me.sim.timeout(duration)
+        finally:
+            self.me.pipeline.release(request)
+        self.me.busy_time += duration
+        self.compute_time += duration
+
+    def mem(self, level: str) -> Generator:
+        """One memory reference: the pipeline is free for sibling threads."""
+        yield self.me.sim.timeout(self.me.memory.latency(level))
+
+    def __repr__(self) -> str:
+        return f"<HardwareThread {self.name}>"

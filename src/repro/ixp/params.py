@@ -1,0 +1,74 @@
+"""Constants of the IXP2850 network-processor model.
+
+Figures follow the Intel IXP2850 datasheet and the paper's description
+(§2.1): 16 eight-way hyper-threaded RISC microengines at 1.4 GHz, 640 words
+of local memory and 256 GPRs per microengine, 16 KB scratchpad, 256 MB
+external SRAM (packet descriptor queues) and 256 MB external DRAM (packet
+payload), all with increasing access latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import us
+
+#: Nanoseconds per microengine cycle at 1.4 GHz.
+CYCLE_NS = 1.0 / 1.4
+
+
+def cycles(count: float) -> int:
+    """Microengine cycles -> nanoseconds at the 1.4 GHz clock."""
+    return round(count * CYCLE_NS)
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryLatencies:
+    """Read/write access latency per level of the IXP memory hierarchy."""
+
+    local: int = cycles(3)  # 640-word per-ME local memory
+    scratch: int = cycles(60)  # 16 KB shared scratchpad
+    sram: int = cycles(90)  # 256 MB external SRAM (descriptors)
+    dram: int = cycles(120)  # 256 MB external DRAM (payload)
+
+
+@dataclass(frozen=True, slots=True)
+class IXPParams:
+    """Shape and costs of the IXP island."""
+
+    num_microengines: int = 16
+    threads_per_microengine: int = 8
+    memory: MemoryLatencies = MemoryLatencies()
+
+    #: DRAM buffer-pool capacity for queued packet payloads (bytes).
+    buffer_pool_bytes: int = 256 * 1024 * 1024
+    #: Per-flow-queue default capacity (bytes) before tail drop.
+    flow_queue_bytes: int = 4 * 1024 * 1024
+
+    #: Rx path compute costs (per packet), in ME cycles.
+    rx_header_cycles: int = 300
+    classify_cycles: int = 1100  # deep packet inspection
+    enqueue_cycles: int = 120
+
+    #: Dequeue/DMA-issue compute cost per packet, in ME cycles.
+    dequeue_cycles: int = 250
+
+    #: Tx path compute cost per packet, in ME cycles.
+    tx_cycles: int = 350
+
+    #: Number of PCI-Tx threads dequeuing flow queues toward the host.
+    dequeue_threads: int = 8
+    #: Extra delay between dequeue batches per queue (the 'poll interval'
+    #: knob of the paper's weighted scheduler); 0 = fully event-driven.
+    default_poll_interval: int = 0
+
+    #: How often the XScale control core samples flow-queue occupancy for
+    #: system-level monitoring (Figure 7's buffer monitor).
+    monitor_period: int = us(500)
+
+    #: Split the Rx path across two microengines (receive + classifier)
+    #: joined by a scratchpad ring, as in the paper's Figure 3. Default
+    #: off: the combined image behaves identically at our traffic rates.
+    two_stage_rx: bool = False
+    #: Scratch-ring depth between the two Rx stages (descriptors).
+    rx_ring_depth: int = 128

@@ -1,0 +1,126 @@
+"""The IXP receive pipeline: wire -> classify -> per-VM flow queue.
+
+Rx microengine threads pull packets off the wire-side ingress, write the
+payload to DRAM, run the classification engine (deep packet inspection),
+and enqueue a descriptor on the destination VM's flow queue. Classified
+packets are also announced to observer hooks — that is where the IXP-side
+coordination policies tap application knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Simulator, Store, Tracer
+from ..net import Packet
+from .classifier import Classifier
+from .microengine import HardwareThread
+from .params import IXPParams
+
+#: Observer invoked as ``hook(packet, flow)`` after classification.
+ClassifiedHook = Callable[[Packet, str], None]
+
+
+class RxPipeline:
+    """A set of Rx task threads sharing one wire-side ingress queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ingress: Store[Packet],
+        classifier: Classifier,
+        queue_resolver: Callable[[Packet], Optional[object]],
+        threads: list[HardwareThread],
+        params: IXPParams,
+        tracer: Optional[Tracer] = None,
+    ):
+        """``queue_resolver`` maps a classified packet to its FlowQueue
+        (None = no queue registered for this destination: count a drop)."""
+        self.sim = sim
+        self.ingress = ingress
+        self.classifier = classifier
+        self.queue_resolver = queue_resolver
+        self.params = params
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self._hooks: list[ClassifiedHook] = []
+        self.processed = 0
+        self.unroutable = 0
+        for thread in threads:
+            sim.spawn(self._thread_loop(thread), name=f"rx-{thread.name}")
+
+    def add_classified_hook(self, hook: ClassifiedHook) -> None:
+        """Subscribe to every classified packet (coordination policies)."""
+        self._hooks.append(hook)
+
+    def _classify_and_enqueue(self, thread: HardwareThread, packet: Packet):
+        """Shared tail of the Rx path: DPI, hooks, flow-queue enqueue."""
+        yield from thread.compute(self.params.classify_cycles)
+        flow = self.classifier.classify(packet)
+        for hook in self._hooks:
+            hook(packet, flow)
+        yield from thread.compute(self.params.enqueue_cycles)
+        yield from thread.mem("sram")
+        queue = self.queue_resolver(packet)
+        if queue is None:
+            self.unroutable += 1
+            self.tracer.emit("ixp-rx", "unroutable", pid=packet.pid, dst=packet.dst)
+            return
+        queue.enqueue(packet)
+        self.processed += 1
+
+    def _thread_loop(self, thread: HardwareThread):
+        while True:
+            packet: Packet = yield self.ingress.get()
+            packet.stamp("ixp-rx", self.sim.now)
+            # Header parse + payload store to DRAM.
+            yield from thread.compute(self.params.rx_header_cycles)
+            yield from thread.mem("dram")
+            yield from self._classify_and_enqueue(thread, packet)
+
+
+class TwoStageRxPipeline(RxPipeline):
+    """Figure 3's split Rx: receive threads and classifier threads on
+    separate microengines, handed off over a scratchpad ring.
+
+    Stage 1 (Rx ME): wire ingress -> header parse -> DRAM payload store ->
+    scratch-ring descriptor + signal. Stage 2 (classifier ME): ring ->
+    DPI -> per-VM flow queue. Latency grows by the ring hop; stage-1
+    threads are freed for line-rate receive — the structure the real IXP
+    images used.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ingress: Store[Packet],
+        classifier: Classifier,
+        queue_resolver,
+        rx_threads: list[HardwareThread],
+        classify_threads: list[HardwareThread],
+        params: IXPParams,
+        ring,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.ring = ring
+        # The base constructor spawns stage-1 loops on rx_threads.
+        super().__init__(
+            sim, ingress, classifier, queue_resolver, rx_threads, params, tracer=tracer
+        )
+        for thread in classify_threads:
+            sim.spawn(self._classifier_loop(thread), name=f"rx-cls-{thread.name}")
+
+    def _thread_loop(self, thread: HardwareThread):
+        while True:
+            packet: Packet = yield self.ingress.get()
+            packet.stamp("ixp-rx", self.sim.now)
+            yield from thread.compute(self.params.rx_header_cycles)
+            yield from thread.mem("dram")
+            accepted = yield from self.ring.put(packet)
+            if not accepted:
+                self.unroutable += 1
+                self.tracer.emit("ixp-rx", "ring-full-drop", pid=packet.pid)
+
+    def _classifier_loop(self, thread: HardwareThread):
+        while True:
+            packet = yield from self.ring.get()
+            yield from self._classify_and_enqueue(thread, packet)

@@ -1,0 +1,88 @@
+"""Scratchpad rings and hardware signals for inter-microengine handoff.
+
+§2.1: "there are 16KB of shared scratchpad memory ... which can be used
+for inter-microengine communication. ... the hardware supports signals,
+which can be used for inter-thread signaling within a microengine, as well
+as externally between micro-engines."
+
+A :class:`ScratchRing` is a bounded descriptor ring in scratchpad memory:
+producers pay a scratch write, consumers a scratch read, and an optional
+:class:`HardwareSignal` wakes a waiting consumer without polling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from ..sim import Event, Simulator
+from .memory import MemoryHierarchy
+
+
+class HardwareSignal:
+    """An inter-thread signal line: ``assert_signal`` wakes one waiter."""
+
+    def __init__(self, sim: Simulator, name: str = "signal"):
+        self.sim = sim
+        self.name = name
+        self._waiters: deque[Event] = deque()
+        self.asserted_count = 0
+
+    def wait(self) -> Event:
+        """Event that fires at the next assertion (one waiter per assert)."""
+        event = self.sim.event(name=f"sig-{self.name}")
+        self._waiters.append(event)
+        return event
+
+    def assert_signal(self) -> None:
+        """Wake the oldest waiter (no-op when nobody waits: edge signal)."""
+        self.asserted_count += 1
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                return
+
+
+class ScratchRing:
+    """Bounded descriptor ring in scratchpad memory with signal wakeup."""
+
+    def __init__(self, sim: Simulator, memory: MemoryHierarchy, capacity: int = 128,
+                 name: str = "scratch-ring"):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.memory = memory
+        self.capacity = capacity
+        self.name = name
+        self.items: deque = deque()
+        self.signal = HardwareSignal(sim, name=f"{name}-nonempty")
+        self.put_count = 0
+        self.full_rejections = 0
+
+    def put(self, item) -> Generator:
+        """Producer side: scratch write + signal. False if the ring is full.
+
+        Use as ``ok = yield from ring.put(item)``.
+        """
+        yield self.sim.timeout(self.memory.latency("scratch"))
+        if len(self.items) >= self.capacity:
+            self.full_rejections += 1
+            return False
+        self.items.append(item)
+        self.put_count += 1
+        self.signal.assert_signal()
+        return True
+
+    def get(self) -> Generator:
+        """Consumer side: wait for a descriptor, pay the scratch read.
+
+        Use as ``item = yield from ring.get()``.
+        """
+        while not self.items:
+            yield self.signal.wait()
+        yield self.sim.timeout(self.memory.latency("scratch"))
+        return self.items.popleft()
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,60 @@
+"""The XScale control core.
+
+"An ARM XScale core, used for control and management purposes, runs
+Montavista Linux" (paper §2.1). In our model it hosts the IXP side of the
+coordination policies: periodic monitor tasks and the coordination-channel
+endpoint. Control-plane work is lightweight and the XScale is otherwise
+idle, so tasks run unconstrained but each dispatch pays a fixed overhead to
+keep reaction latency honest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim import Simulator, Tracer, us
+from ..interconnect import ChannelEndpoint
+
+#: Control-core overhead per message send or monitor pass.
+DISPATCH_OVERHEAD = us(20)
+
+
+class XScaleCore:
+    """Control-plane runtime of the IXP island."""
+
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self._endpoint: Optional[ChannelEndpoint] = None
+        self.messages_sent = 0
+        self.monitor_tasks = 0
+
+    def attach_channel(self, endpoint: ChannelEndpoint) -> None:
+        """Connect the coordination-channel endpoint (host direction)."""
+        self._endpoint = endpoint
+
+    @property
+    def channel(self) -> Optional[ChannelEndpoint]:
+        """The attached coordination endpoint, if any."""
+        return self._endpoint
+
+    def send_message(self, message: Any) -> None:
+        """Send a coordination message to the x86 island (async, with
+        control-core dispatch overhead)."""
+        if self._endpoint is None:
+            raise RuntimeError("XScale has no coordination channel attached")
+        endpoint = self._endpoint
+        self.messages_sent += 1
+        self.sim.call_in(DISPATCH_OVERHEAD, lambda: endpoint.send(message))
+
+    def every(self, period: int, task: Callable[[], None], name: str = "monitor") -> None:
+        """Run ``task()`` every ``period`` ns (a monitor loop)."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.monitor_tasks += 1
+        self.sim.spawn(self._periodic(period, task), name=f"xscale-{name}")
+
+    def _periodic(self, period: int, task: Callable[[], None]):
+        while True:
+            yield self.sim.timeout(period)
+            task()

@@ -1,0 +1,32 @@
+"""Measurement: summary statistics, CPU sampling, response-time recording
+and the paper's platform-efficiency metric."""
+
+from .breakdown import RX_PATH_STAGES, LatencyBreakdown, StageStats
+from .collector import (
+    CpuUtilizationSampler,
+    TimePoint,
+    UtilizationSample,
+    WindowedCounter,
+)
+from .efficiency import platform_efficiency
+from .response import ResponseTimeRecorder
+from .timeline import RunInterval, SchedulingTimeline
+from .stats import OnlineStats, Summary, percentile, summarize
+
+__all__ = [
+    "CpuUtilizationSampler",
+    "LatencyBreakdown",
+    "RX_PATH_STAGES",
+    "StageStats",
+    "OnlineStats",
+    "ResponseTimeRecorder",
+    "RunInterval",
+    "SchedulingTimeline",
+    "Summary",
+    "TimePoint",
+    "UtilizationSample",
+    "WindowedCounter",
+    "percentile",
+    "platform_efficiency",
+    "summarize",
+]

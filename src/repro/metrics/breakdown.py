@@ -1,0 +1,81 @@
+"""Per-stage latency breakdown from packet stage stamps.
+
+Every pipeline stage stamps the packets it forwards (``Packet.stamp``), so
+an end-to-end latency decomposes into per-hop components for free. The
+:class:`LatencyBreakdown` aggregates those per-stage deltas across many
+packets — the tool used to attribute where coordination saves time (IXP
+queueing vs PCIe vs Dom0 relay vs guest scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net import Packet
+from .stats import OnlineStats
+
+#: The receive path's canonical stage order on the testbed.
+RX_PATH_STAGES = ("ixp-rx", "pci-dma", "vif-rx", "bridge")
+
+
+@dataclass
+class StageStats:
+    """Latency statistics of one pipeline hop."""
+
+    from_stage: str
+    to_stage: str
+    stats: OnlineStats
+
+    @property
+    def label(self) -> str:
+        return f"{self.from_stage} -> {self.to_stage}"
+
+
+class LatencyBreakdown:
+    """Aggregates per-hop latencies over observed packets."""
+
+    def __init__(self, stages: tuple[str, ...] = RX_PATH_STAGES):
+        if len(stages) < 2:
+            raise ValueError("need at least two stages to form a hop")
+        self.stages = stages
+        self._hops = [
+            StageStats(stages[i], stages[i + 1], OnlineStats())
+            for i in range(len(stages) - 1)
+        ]
+        self.packets_observed = 0
+        self.packets_skipped = 0
+
+    def observe(self, packet: Packet) -> bool:
+        """Fold one packet's stamps in; False if stamps are incomplete."""
+        stamps = packet.stamps
+        if not all(stage in stamps for stage in self.stages):
+            self.packets_skipped += 1
+            return False
+        for hop in self._hops:
+            hop.stats.add(stamps[hop.to_stage] - stamps[hop.from_stage])
+        self.packets_observed += 1
+        return True
+
+    def hops(self) -> list[StageStats]:
+        """Per-hop statistics, in path order."""
+        return list(self._hops)
+
+    def total_mean(self) -> float:
+        """Mean end-to-end latency across the configured stages (ns)."""
+        return sum(hop.stats.mean for hop in self._hops)
+
+    def dominant_hop(self) -> StageStats:
+        """The hop with the highest mean latency."""
+        if self.packets_observed == 0:
+            raise ValueError("no packets observed")
+        return max(self._hops, key=lambda hop: hop.stats.mean)
+
+    def report(self) -> str:
+        """Human-readable per-hop table (microseconds)."""
+        lines = [f"latency breakdown over {self.packets_observed} packets"]
+        for hop in self._hops:
+            mean_us = hop.stats.mean / 1000.0
+            worst_us = (hop.stats.maximum / 1000.0) if hop.stats.count else 0.0
+            lines.append(f"  {hop.label:24s} mean {mean_us:10.1f} us   max {worst_us:10.1f} us")
+        lines.append(f"  {'total':24s} mean {self.total_mean() / 1000.0:10.1f} us")
+        return "\n".join(lines)

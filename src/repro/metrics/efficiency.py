@@ -1,0 +1,24 @@
+"""The paper's platform-efficiency metric.
+
+"a measure of the average request throughput (i.e., application
+performance) over the mean CPU utilization (i.e., resource utilization),
+since the use of only a system-level metric like CPU utilization does not
+provide sufficient insight into how that utilization is translated into
+better application performance" (§3.1).
+
+With Table 2's numbers (throughput 68 req/s, efficiency 51.28) the implied
+denominator is total CPU utilisation expressed in units of one fully busy
+core (68 / 1.326 ~ 51.28), which is how we compute it.
+"""
+
+from __future__ import annotations
+
+
+def platform_efficiency(throughput_per_s: float, total_cpu_percent: float) -> float:
+    """Requests per second per fully-utilised core.
+
+    ``total_cpu_percent`` sums all domains' utilisation, 100 = one core.
+    """
+    if total_cpu_percent <= 0:
+        raise ValueError("total CPU utilisation must be positive")
+    return throughput_per_s / (total_cpu_percent / 100.0)

@@ -1,0 +1,51 @@
+"""End-to-end response-time recording, keyed by request type."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator, to_ms
+from .stats import Summary, summarize
+
+
+class ResponseTimeRecorder:
+    """Collects per-key latency samples (in clock ticks) and summarises
+    them in milliseconds, the unit the paper reports."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._samples: dict[str, list[int]] = {}
+
+    def record(self, key: str, latency: int) -> None:
+        """Add one latency observation for ``key``."""
+        if latency < 0:
+            raise ValueError(f"negative latency {latency} for {key!r}")
+        self._samples.setdefault(key, []).append(latency)
+
+    def keys(self) -> list[str]:
+        """All request types observed, in first-seen order."""
+        return list(self._samples)
+
+    def count(self, key: Optional[str] = None) -> int:
+        """Observations for ``key`` (or across all keys)."""
+        if key is not None:
+            return len(self._samples.get(key, []))
+        return sum(len(v) for v in self._samples.values())
+
+    def summary_ms(self, key: str) -> Summary:
+        """Latency summary for one request type, in milliseconds."""
+        samples = self._samples.get(key)
+        if not samples:
+            raise KeyError(f"no samples recorded for {key!r}")
+        return summarize(to_ms(s) for s in samples)
+
+    def overall_summary_ms(self) -> Summary:
+        """Latency summary across every request type."""
+        merged = [s for values in self._samples.values() for s in values]
+        if not merged:
+            raise ValueError("no samples recorded")
+        return summarize(to_ms(s) for s in merged)
+
+    def table_ms(self) -> dict[str, Summary]:
+        """Per-type summaries for all keys (the Table 1 shape)."""
+        return {key: self.summary_ms(key) for key in self._samples}

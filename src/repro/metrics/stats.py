@@ -1,0 +1,105 @@
+"""Summary statistics helpers (no numpy dependency in the core library)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @property
+    def spread(self) -> float:
+        """Max - min: the paper's min-max variability band."""
+        return self.maximum - self.minimum
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (len(sorted_values) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(sorted_values[low])
+    frac = rank - low
+    interpolated = float(sorted_values[low]) * (1 - frac) + float(sorted_values[high]) * frac
+    # Clamp against float round-off: a percentile can never leave the
+    # interval spanned by its neighbours.
+    return min(max(interpolated, float(sorted_values[low])), float(sorted_values[high]))
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Full :class:`Summary` of a sample (population std)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((v - mean) ** 2 for v in data) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=data[0],
+        maximum=data[-1],
+        p50=percentile(data, 50),
+        p95=percentile(data, 95),
+        p99=percentile(data, 99),
+    )
+
+
+class OnlineStats:
+    """Welford streaming mean/variance with min/max tracking."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 when fewer than two observations)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)

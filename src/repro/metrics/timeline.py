@@ -1,0 +1,120 @@
+"""Scheduling timelines: who ran where, reconstructed from trace events.
+
+Subscribe a :class:`SchedulingTimeline` to a testbed's tracer (tracing must
+be enabled) and it records every context switch the credit scheduler
+performs. Afterwards it answers occupancy queries and renders an ASCII
+Gantt chart — the tool for eyeballing OVER-band starvation, boost
+preemptions and slice convoys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Simulator, TraceRecord, Tracer
+
+
+@dataclass(frozen=True, slots=True)
+class RunInterval:
+    """One contiguous occupancy of a core by a VM."""
+
+    cpu: int
+    vm: str
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class SchedulingTimeline:
+    """Collects context-switch events into per-core interval lists."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer):
+        self.sim = sim
+        self.intervals: list[RunInterval] = []
+        self._open: dict[int, tuple[str, int]] = {}  # cpu -> (vm, start)
+        tracer.subscribe(self._on_record, kinds=["ctxsw-in", "ctxsw-out"])
+
+    def _on_record(self, record: TraceRecord) -> None:
+        cpu = record.payload["cpu"]
+        if record.kind == "ctxsw-in":
+            self._open[cpu] = (record.payload["vm"], record.time)
+        else:
+            opened = self._open.pop(cpu, None)
+            if opened is not None:
+                vm, start = opened
+                if record.time > start:
+                    self.intervals.append(
+                        RunInterval(cpu=cpu, vm=vm, start=start, end=record.time)
+                    )
+
+    def close(self) -> None:
+        """Close any still-open intervals at the current time."""
+        for cpu, (vm, start) in list(self._open.items()):
+            if self.sim.now > start:
+                self.intervals.append(
+                    RunInterval(cpu=cpu, vm=vm, start=start, end=self.sim.now)
+                )
+        self._open.clear()
+
+    # -- queries ----------------------------------------------------------
+
+    def busy_time(self, vm: str, start: int = 0, end: Optional[int] = None) -> int:
+        """Total core time ``vm`` held within [start, end)."""
+        end = self.sim.now if end is None else end
+        total = 0
+        for interval in self.intervals:
+            if interval.vm != vm:
+                continue
+            lo = max(interval.start, start)
+            hi = min(interval.end, end)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def longest_gap(self, vm: str) -> int:
+        """Longest stretch (ns) the VM held no core at all."""
+        spans = sorted(
+            (i.start, i.end) for i in self.intervals if i.vm == vm
+        )
+        if not spans:
+            return self.sim.now
+        gaps = [spans[0][0]]
+        horizon = spans[0][1]
+        for start, end in spans[1:]:
+            if start > horizon:
+                gaps.append(start - horizon)
+            horizon = max(horizon, end)
+        gaps.append(max(0, self.sim.now - horizon))
+        return max(gaps)
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_gantt(
+        self, start: int, end: int, width: int = 80, cpus: Optional[list[int]] = None
+    ) -> str:
+        """ASCII Gantt: one row per core, one letter per VM."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        vms = sorted({i.vm for i in self.intervals})
+        letters = {vm: chr(ord("A") + index % 26) for index, vm in enumerate(vms)}
+        cpu_ids = cpus if cpus is not None else sorted({i.cpu for i in self.intervals})
+        scale = (end - start) / width
+
+        lines = [
+            "legend: " + "  ".join(f"{letters[vm]}={vm}" for vm in vms) + "  .=idle"
+        ]
+        for cpu in cpu_ids:
+            row = ["."] * width
+            for interval in self.intervals:
+                if interval.cpu != cpu or interval.end <= start or interval.start >= end:
+                    continue
+                lo = max(0, int((interval.start - start) / scale))
+                hi = min(width, max(lo + 1, int((interval.end - start) / scale)))
+                for x in range(lo, hi):
+                    row[x] = letters[interval.vm]
+            lines.append(f"cpu{cpu} |" + "".join(row) + "|")
+        return "\n".join(lines)

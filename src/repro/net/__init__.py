@@ -1,0 +1,19 @@
+"""Network substrate: packets, wire links, NICs and the Xen bridge."""
+
+from .bridge import DEFAULT_RELAY_COST, XenBridge
+from .link import GBIT_PER_SEC, DuplexLink, Link, PacketSink
+from .nic import VirtualNIC
+from .packet import MTU_BYTES, Packet, fragment
+
+__all__ = [
+    "DEFAULT_RELAY_COST",
+    "DuplexLink",
+    "GBIT_PER_SEC",
+    "Link",
+    "MTU_BYTES",
+    "Packet",
+    "PacketSink",
+    "VirtualNIC",
+    "XenBridge",
+    "fragment",
+]

@@ -1,0 +1,91 @@
+"""Point-to-point wire links with bandwidth and propagation delay.
+
+A :class:`Link` is a unidirectional store-and-forward pipe: packets are
+serialised one at a time at the link's bandwidth, then arrive at the sink
+after the propagation latency. The transmit queue is bounded; overflowing
+it drops packets (and counts them), which matters for the UDP streaming
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Simulator, Store, Tracer, us
+from .packet import Packet
+
+#: Handler invoked at the receiving end of a link.
+PacketSink = Callable[[Packet], None]
+
+#: Gigabit Ethernet, expressed in bytes per nanosecond.
+GBIT_PER_SEC = 0.125
+
+
+class Link:
+    """Unidirectional link: ``send`` at one end, sink callback at the other."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth_bytes_per_ns: float = GBIT_PER_SEC,
+        latency: int = us(50),
+        queue_packets: int = 1000,
+        tracer: Optional[Tracer] = None,
+    ):
+        if bandwidth_bytes_per_ns <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = bandwidth_bytes_per_ns
+        self.latency = latency
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self._queue: Store[Packet] = Store(sim, capacity=queue_packets, name=f"{name}-txq")
+        self._sink: Optional[PacketSink] = None
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        sim.spawn(self._pump(), name=f"link-{name}")
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach the receiving end."""
+        self._sink = sink
+
+    def send(self, packet: Packet) -> bool:
+        """Queue a packet for transmission; False if the TX queue is full."""
+        if not self._queue.try_put(packet):
+            self.dropped += 1
+            self.tracer.emit(self.name, "link-drop", pid=packet.pid)
+            return False
+        self.sent += 1
+        return True
+
+    def serialization_delay(self, size: int) -> int:
+        """Time to clock ``size`` bytes onto the wire."""
+        return round(size / self.bandwidth)
+
+    def _pump(self):
+        while True:
+            packet = yield self._queue.get()
+            yield self.sim.timeout(self.serialization_delay(packet.size))
+            # Propagation is pipelined: schedule delivery, keep serialising.
+            self.sim.call_in(self.latency, lambda p=packet: self._deliver(p))
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered += 1
+        if self._sink is None:
+            raise RuntimeError(f"link {self.name!r} delivered a packet with no sink connected")
+        self._sink(packet)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} queued={len(self._queue)} sent={self.sent}>"
+
+
+class DuplexLink:
+    """A pair of opposite :class:`Link`\\ s bundled for convenience."""
+
+    def __init__(self, sim: Simulator, name: str, **kwargs):
+        self.forward = Link(sim, f"{name}-fwd", **kwargs)
+        self.backward = Link(sim, f"{name}-rev", **kwargs)

@@ -1,0 +1,59 @@
+"""Virtual NICs: the network attachment point of a VM (netfront) and of
+simulated external hosts.
+
+A :class:`VirtualNIC` owns a bounded receive queue. Application code reads
+with ``yield nic.recv()`` and writes through whatever egress callable the
+island wired up (for VMs: the Xen bridge; for client hosts: a wire link).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim import Event, Simulator, Store
+from .packet import Packet
+
+
+class VirtualNIC:
+    """A named network interface with an RX queue and a pluggable egress."""
+
+    def __init__(self, sim: Simulator, name: str, rx_capacity: int = 2048):
+        self.sim = sim
+        self.name = name
+        self.rx_queue: Store[Packet] = Store(sim, capacity=rx_capacity, name=f"{name}-rx")
+        self._egress: Optional[Callable[[Packet], None]] = None
+        self.rx_count = 0
+        self.tx_count = 0
+        self.rx_dropped = 0
+
+    def attach_egress(self, egress: Callable[[Packet], None]) -> None:
+        """Connect the transmit side (bridge, link, ...)."""
+        self._egress = egress
+
+    # -- receive path -------------------------------------------------------
+
+    def deliver(self, packet: Packet) -> bool:
+        """Push a packet into the RX queue (called by bridge/link sinks)."""
+        packet.stamp(f"{self.name}.rx", self.sim.now)
+        if not self.rx_queue.try_put(packet):
+            self.rx_dropped += 1
+            return False
+        self.rx_count += 1
+        return True
+
+    def recv(self) -> Event:
+        """Event that fires with the next received packet."""
+        return self.rx_queue.get()
+
+    # -- transmit path --------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Hand a packet to the egress path."""
+        if self._egress is None:
+            raise RuntimeError(f"NIC {self.name!r} has no egress attached")
+        packet.stamp(f"{self.name}.tx", self.sim.now)
+        self.tx_count += 1
+        self._egress(packet)
+
+    def __repr__(self) -> str:
+        return f"<VirtualNIC {self.name} rx={self.rx_count} tx={self.tx_count}>"

@@ -1,0 +1,19 @@
+"""Platform topology: scheduling islands, entity identity, global controller.
+
+This package defines the *interfaces* the paper's coordination layer is
+written against; the concrete islands live in :mod:`repro.x86` and
+:mod:`repro.ixp`.
+"""
+
+from .controller import GlobalController, UnknownEntityError
+from .identity import EntityId, flow_id, vm_id
+from .island import Island
+
+__all__ = [
+    "EntityId",
+    "GlobalController",
+    "Island",
+    "UnknownEntityError",
+    "flow_id",
+    "vm_id",
+]

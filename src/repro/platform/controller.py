@@ -1,0 +1,71 @@
+"""Global controller: the platform-wide registry (paper §2.3).
+
+"At system initialization time, all scheduling islands register with a
+global controller (i.e., the first privileged domain to boot up and have
+complete knowledge of the system platform, in our prototype ... part of Xen
+Dom0)." The controller does not make resource decisions itself — it only
+resolves which island owns which entity, so islands can address Tunes and
+Triggers to each other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..sim import Simulator, Tracer
+from .identity import EntityId
+from .island import Island
+
+
+class UnknownEntityError(KeyError):
+    """Raised when a coordination message names an unregistered entity."""
+
+
+class GlobalController:
+    """Registry of islands and of the entities deployed across them."""
+
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self._islands: dict[str, Island] = {}
+        self._owner_of: dict[EntityId, str] = {}
+
+    # -- island registration ----------------------------------------------
+
+    def register_island(self, island: Island) -> None:
+        """Admit an island (and any entities it already knows about)."""
+        if island.name in self._islands:
+            raise ValueError(f"island {island.name!r} already registered")
+        self._islands[island.name] = island
+        island.attach_controller(self)
+        for entity_id in island.entities():
+            self.note_entity(island, entity_id)
+        self.tracer.emit("controller", "island-registered", island=island.name)
+
+    def note_entity(self, island: Island, entity_id: EntityId) -> None:
+        """Record that ``entity_id`` lives on ``island``."""
+        self._owner_of[entity_id] = island.name
+        self.tracer.emit(
+            "controller", "entity-registered", island=island.name, entity=str(entity_id)
+        )
+
+    # -- lookups ------------------------------------------------------------
+
+    def island(self, name: str) -> Island:
+        """The island registered under ``name``; KeyError if unknown."""
+        return self._islands[name]
+
+    def islands(self) -> Iterable[Island]:
+        """All registered islands, in registration order."""
+        return list(self._islands.values())
+
+    def owner_of(self, entity_id: EntityId) -> Island:
+        """The island that owns ``entity_id``."""
+        island_name = self._owner_of.get(entity_id)
+        if island_name is None:
+            raise UnknownEntityError(f"no island has registered entity {entity_id}")
+        return self._islands[island_name]
+
+    def known_entities(self) -> list[EntityId]:
+        """Every entity registered platform-wide."""
+        return list(self._owner_of)

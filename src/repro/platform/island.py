@@ -1,0 +1,88 @@
+"""The scheduling-island abstraction.
+
+An *island* is a set of resources under the control of a single resource
+manager (paper §1). The coordination layer only ever talks to this
+interface, so policies are written once and work against any island type —
+the "standard mechanisms and interfaces" the paper argues for.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Simulator, Tracer
+from .identity import EntityId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .controller import GlobalController
+
+
+class Island(abc.ABC):
+    """A resource domain with its own manager and native control knobs.
+
+    Concrete islands (x86/Xen, IXP) translate the two standard mechanisms —
+    Tune and Trigger — into whatever their local scheduler understands:
+    credit-weight adjustments for Xen, thread counts and poll intervals for
+    the IXP runtime (paper §3.3).
+    """
+
+    def __init__(self, sim: Simulator, name: str, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.name = name
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self._controller: Optional["GlobalController"] = None
+        self._entities: dict[EntityId, object] = {}
+
+    # -- registration (paper §2.3) ----------------------------------------
+
+    def attach_controller(self, controller: "GlobalController") -> None:
+        """Called by the global controller when this island registers."""
+        self._controller = controller
+
+    @property
+    def controller(self) -> Optional["GlobalController"]:
+        """The global controller, once registered."""
+        return self._controller
+
+    def register_entity(self, entity_id: EntityId, entity: object) -> None:
+        """Expose ``entity`` (a VM, flow queue, ...) to coordination."""
+        if entity_id in self._entities:
+            raise ValueError(f"entity {entity_id} already registered on island {self.name}")
+        self._entities[entity_id] = entity
+        if self._controller is not None:
+            self._controller.note_entity(self, entity_id)
+
+    def entity(self, entity_id: EntityId) -> object:
+        """Look up a registered entity; KeyError if unknown."""
+        return self._entities[entity_id]
+
+    def entities(self) -> dict[EntityId, object]:
+        """A copy of the registered-entity table."""
+        return dict(self._entities)
+
+    def has_entity(self, entity_id: EntityId) -> bool:
+        """Whether ``entity_id`` is registered on this island."""
+        return entity_id in self._entities
+
+    # -- the two standard coordination mechanisms -------------------------
+
+    @abc.abstractmethod
+    def apply_tune(self, entity_id: EntityId, delta: int) -> None:
+        """Adjust the entity's resource share by ``delta`` (native units).
+
+        This is the receive side of the paper's **Tune** mechanism: a
+        ``(entity, +/- value)`` pair translated into a weight / priority /
+        poll-interval adjustment by the local scheduler.
+        """
+
+    @abc.abstractmethod
+    def apply_trigger(self, entity_id: EntityId) -> None:
+        """Give the entity CPU (or equivalent) as soon as possible.
+
+        Receive side of the paper's **Trigger** mechanism, with preemptive
+        semantics (e.g. a runqueue boost in the Xen credit scheduler).
+        """
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} {self.name!r} entities={len(self._entities)}>"

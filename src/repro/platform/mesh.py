@@ -1,0 +1,111 @@
+"""Multi-island coordination meshes.
+
+The paper's prototype has two islands and one channel; its future work
+(§5) asks about "the scalability of such mechanisms to large-scale
+multicore platforms, part of which involve the use of distributed
+coordination algorithms across multiple island resource managers". A
+:class:`CoordinationMesh` wires any number of islands with point-to-point
+channels (each pair gets its own mailbox, as tiled hardware would), and
+exposes per-link agents so both centralized (star) and distributed
+(neighbour-gossip) coordination algorithms can be built on the same
+Tune/Trigger vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..coordination import CoordinationAgent
+from ..interconnect import CoordinationChannel
+from ..sim import Simulator, Tracer
+from ..x86.vm import VirtualMachine
+from .island import Island
+
+
+class CoordinationMesh:
+    """Point-to-point coordination links among registered islands."""
+
+    def __init__(self, sim: Simulator, latency: int, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.latency = latency
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self._islands: dict[str, Island] = {}
+        self._handler_vms: dict[str, Optional[VirtualMachine]] = {}
+        #: (from, to) -> agent whose sends travel from -> to and whose
+        #: receive side applies messages at `from`'s island... see link().
+        self._agents: dict[tuple[str, str], CoordinationAgent] = {}
+
+    def add_island(self, island: Island, handler_vm: Optional[VirtualMachine] = None) -> None:
+        """Register an island (``handler_vm`` pays for message handling)."""
+        if island.name in self._islands:
+            raise ValueError(f"island {island.name!r} already in mesh")
+        self._islands[island.name] = island
+        self._handler_vms[island.name] = handler_vm
+
+    def islands(self) -> list[Island]:
+        """All islands, in registration order."""
+        return list(self._islands.values())
+
+    def connect(self, name_a: str, name_b: str) -> None:
+        """Create the (bidirectional) link between two islands."""
+        if name_a == name_b:
+            raise ValueError("cannot connect an island to itself")
+        if (name_a, name_b) in self._agents:
+            raise ValueError(f"link {name_a!r}<->{name_b!r} already exists")
+        channel = CoordinationChannel(
+            self.sim, latency=self.latency, a_name=name_a, b_name=name_b,
+            tracer=self.tracer,
+        )
+        agent_a = CoordinationAgent(
+            self.sim,
+            self._islands[name_a],
+            channel.endpoint(name_a),
+            handler_vm=self._handler_vms[name_a],
+            tracer=self.tracer,
+        )
+        agent_b = CoordinationAgent(
+            self.sim,
+            self._islands[name_b],
+            channel.endpoint(name_b),
+            handler_vm=self._handler_vms[name_b],
+            tracer=self.tracer,
+        )
+        self._agents[(name_a, name_b)] = agent_a
+        self._agents[(name_b, name_a)] = agent_b
+
+    def connect_star(self, hub: str) -> None:
+        """Link every island to ``hub`` (centralized coordinator layout)."""
+        for name in self._islands:
+            if name != hub and (hub, name) not in self._agents:
+                self.connect(hub, name)
+
+    def connect_ring(self) -> None:
+        """Link islands in a ring (distributed neighbour-gossip layout)."""
+        names = list(self._islands)
+        count = len(names)
+        if count < 2:
+            raise ValueError("a ring needs at least two islands")
+        for i, name in enumerate(names):
+            neighbor = names[(i + 1) % count]
+            if (name, neighbor) not in self._agents:
+                self.connect(name, neighbor)
+
+    def agent(self, from_island: str, to_island: str) -> CoordinationAgent:
+        """The agent at ``from_island`` on its link toward ``to_island``.
+
+        Its ``send_*`` methods deliver to ``to_island``; its receive side
+        applies messages arriving *from* ``to_island``.
+        """
+        return self._agents[(from_island, to_island)]
+
+    def neighbors(self, name: str) -> list[str]:
+        """Islands this one has links to."""
+        return [to for (frm, to) in self._agents if frm == name]
+
+    def messages_handled_at(self, name: str) -> int:
+        """Tunes+Triggers applied at an island across all its links."""
+        total = 0
+        for (frm, _to), agent in self._agents.items():
+            if frm == name:
+                total += agent.tunes_applied + agent.triggers_applied
+        return total

@@ -1,0 +1,35 @@
+"""Platform power management: models, metering and cap governors.
+
+Implements the paper's second motivating use case (§1, "Platform-level
+power management") and its future-work item of power coordination policies
+(§5): the same Tune/Trigger-carrying channel also carries power telemetry,
+letting a platform cap be enforced with application-level awareness
+instead of static per-island budgets.
+"""
+
+from .governor import (
+    CoordinatedPowerCapGovernor,
+    LocalPowerCapGovernor,
+    PowerReportMessage,
+)
+from .meter import PowerMeter, PowerSample
+from .model import (
+    DVFS_LEVELS,
+    CorePowerModel,
+    IXPPowerModel,
+    next_level_down,
+    next_level_up,
+)
+
+__all__ = [
+    "CoordinatedPowerCapGovernor",
+    "CorePowerModel",
+    "DVFS_LEVELS",
+    "IXPPowerModel",
+    "LocalPowerCapGovernor",
+    "PowerMeter",
+    "PowerReportMessage",
+    "PowerSample",
+    "next_level_down",
+    "next_level_up",
+]

@@ -1,0 +1,307 @@
+"""Discrete-event simulation core: events and the simulator loop.
+
+The design follows the classic event-graph formulation. An :class:`Event` is
+a one-shot occurrence that processes (see :mod:`repro.sim.process`) can wait
+on by ``yield``-ing it. The :class:`Simulator` owns the virtual clock and a
+binary heap of pending events, and runs them in ``(time, sequence)`` order so
+simultaneous events fire in the order they were scheduled — which, combined
+with integer time and seeded RNG streams, makes every run bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from .errors import (
+    EventAlreadyTriggeredError,
+    SchedulingInPastError,
+    StopSimulation,
+)
+
+#: Sentinel stored in ``Event._value`` before the event has a value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    Life cycle: *pending* -> *triggered* (scheduled to fire) -> *processed*
+    (callbacks ran). ``succeed``/``fail`` trigger the event immediately
+    (zero-delay, but still through the queue so ordering stays consistent).
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        #: Callables invoked with this event when it fires. ``None`` after
+        #: the event has been processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._scheduled = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or the exception, for failed events)."""
+        if self._value is _PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` as its payload."""
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggeredError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay=0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters have ``exception`` raised."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggeredError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay=0)
+        return self
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so it does not crash the run.
+
+        The simulator re-raises the exception of any failed event that fires
+        with nobody having handled it. Condition events and processes defuse
+        the failures they absorb.
+        """
+        self._defused = True
+
+    # -- composition -----------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.sim, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.sim, Condition.any_events, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` ticks after it is created."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise SchedulingInPastError(f"negative timeout delay {delay}")
+        super().__init__(sim, name=name or f"timeout({delay})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class Condition(Event):
+    """Composite event: fires when ``evaluate`` says enough children fired.
+
+    Used through the ``&`` / ``|`` operators on events or the
+    :func:`all_of` / :func:`any_of` helpers. The condition's value is a dict
+    mapping each *triggered* child event to its value.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(sim, name="condition")
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+
+        if not self._events:
+            # Vacuous truth: a condition over no events fires immediately.
+            self.succeed({})
+            return
+
+        # Immediately check already-processed children, then subscribe.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict[Event, Any]:
+        return {e: e.value for e in self._events if e.triggered}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event.ok:
+            event.defused()
+            self.fail(event.value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        """Evaluator: fire once every child has fired."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        """Evaluator: fire as soon as one child fires."""
+        return count > 0 or not events
+
+
+def all_of(sim: "Simulator", events: Iterable[Event]) -> Condition:
+    """Event that fires when *all* of ``events`` have fired."""
+    return Condition(sim, Condition.all_events, events)
+
+
+def any_of(sim: "Simulator", events: Iterable[Event]) -> Condition:
+    """Event that fires when *any* of ``events`` has fired."""
+    return Condition(sim, Condition.any_events, events)
+
+
+class Simulator:
+    """The event loop: virtual clock plus a time-ordered event heap.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(my_process(sim))
+        sim.run(until=seconds(10))
+    """
+
+    def __init__(self, start_time: int = 0):
+        self._now: int = start_time
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = 0  # tie-breaker giving FIFO order to simultaneous events
+        self._active_process = None  # set by Process while it executes
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in clock ticks (nanoseconds)."""
+        return self._now
+
+    # -- event constructors ----------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A fresh, untriggered event (a 'promise')."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ticks from now."""
+        return Timeout(self, delay, value=value)
+
+    def spawn(self, generator, name: str = "") -> "Process":
+        """Start a new process from a generator; see :class:`Process`."""
+        from .process import Process  # local import to avoid a cycle
+
+        return Process(self, generator, name=name)
+
+    @property
+    def active_process(self):
+        """The process currently executing, if the loop is inside one."""
+        return self._active_process
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int) -> None:
+        if delay < 0:
+            raise SchedulingInPastError(f"cannot schedule {event!r} {-delay} ticks in the past")
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def call_at(self, when: int, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute time ``when``; returns the timer event."""
+        if when < self._now:
+            raise SchedulingInPastError(f"call_at({when}) but now={self._now}")
+        timer = self.timeout(when - self._now)
+        timer.callbacks.append(lambda _ev: fn())
+        return timer
+
+    def call_in(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` ticks; returns the timer event."""
+        timer = self.timeout(delay)
+        timer.callbacks.append(lambda _ev: fn())
+        return timer
+
+    # -- running ---------------------------------------------------------
+
+    def peek(self) -> Optional[int]:
+        """Time of the next pending event, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Process exactly one event (advance the clock to it)."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event nobody handled: surface the error loudly.
+            raise event._value
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the heap drains or the clock would pass ``until``.
+
+        When ``until`` is given the clock is left at exactly ``until`` even
+        if no event falls on that instant, so back-to-back ``run`` calls
+        compose predictably.
+        """
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+            else:
+                if until < self._now:
+                    raise SchedulingInPastError(f"run(until={until}) but now={self._now}")
+                while self._heap and self._heap[0][0] <= until:
+                    self.step()
+                self._now = until
+        except StopSimulation:
+            pass
+
+    def stop(self) -> None:
+        """Abort :meth:`run` from inside a callback or process."""
+        raise StopSimulation()

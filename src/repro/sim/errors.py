@@ -1,0 +1,44 @@
+"""Exception types raised by the simulation kernel.
+
+The kernel keeps its error vocabulary small and explicit: scheduling in the
+past, misuse of events, and process interruption each get their own type so
+callers can handle them separately.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class SchedulingInPastError(SimulationError):
+    """An event was scheduled at a time earlier than the current clock."""
+
+
+class EventAlreadyTriggeredError(SimulationError):
+    """``succeed``/``fail`` was called on an event that already fired."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow signal used by :meth:`Simulator.stop`.
+
+    Not a :class:`SimulationError`: it is never an error condition, it simply
+    unwinds the event loop.
+    """
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the object passed by the interrupter so
+    the interrupted process can decide how to react (e.g. a preempted CPU
+    slice vs. a cancelled timer).
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"

@@ -1,0 +1,136 @@
+"""Processes: generator coroutines driven by the event loop.
+
+A process is a Python generator that ``yield``s :class:`~repro.sim.core.Event`
+objects. Yielding suspends the process until the event fires; the event's
+value is sent back into the generator (or its exception thrown, for failed
+events). A :class:`Process` is itself an event that fires when the generator
+returns, so processes can ``yield other_process`` to join on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .core import Event, Simulator
+from .errors import Interrupt, SimulationError
+
+
+class Process(Event):
+    """Wraps a generator and steps it each time its awaited event fires."""
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator; did you forget to call it?")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        #: The event this process is currently waiting on (None when ready
+        #: to start or already finished).
+        self._target: Optional[Event] = None
+
+        # Kick the process off via a zero-delay event so that spawning from
+        # inside another process does not recursively execute it.
+        start = Event(sim, name=f"start:{self.name}")
+        start._ok = True
+        start._value = None
+        sim._schedule(start, delay=0)
+        start.callbacks.append(self._resume)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently suspended on."""
+        return self._target
+
+    # -- control ---------------------------------------------------------
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The process stops waiting for its current target (the target itself
+        is unaffected and may fire later with no one listening) and instead
+        receives the exception. Interrupting a finished process is an error;
+        interrupting a process that has not started yet is allowed.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        interrupt_event = Event(self.sim, name=f"interrupt:{self.name}")
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        self.sim._schedule(interrupt_event, delay=0)
+        interrupt_event.callbacks.append(self._resume)
+
+    # -- engine ----------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        # Stale wakeup: an interrupt arrived while we waited on a target, or
+        # the target fired after an interrupt already moved us on.
+        if self.triggered:
+            return
+        if self._target is not None and event is not self._target:
+            # Only interrupt events may barge in on a waiting process; any
+            # other mismatched wakeup is a stale target firing after an
+            # interrupt already moved the process on.
+            if event.ok or not isinstance(event._value, Interrupt):
+                return
+        self._target = None
+
+        previous, self.sim._active_process = self.sim._active_process, self
+        try:
+            if event.ok:
+                next_target = self._generator.send(event.value)
+            else:
+                event.defused()
+                next_target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.sim._active_process = previous
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = previous
+            self.fail(exc)
+            return
+        self.sim._active_process = previous
+
+        if not isinstance(next_target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {next_target!r}, which is not an Event"
+            )
+            self._generator.close()
+            self.fail(error)
+            return
+        if next_target.sim is not self.sim:
+            self._generator.close()
+            self.fail(SimulationError("yielded an event belonging to a different simulator"))
+            return
+
+        self._target = next_target
+        if next_target.callbacks is None:
+            # Already processed: resume on the next loop iteration.
+            ready = Event(self.sim, name="ready")
+            ready._ok = next_target.ok
+            ready._value = next_target._value
+            if not next_target.ok:
+                ready._defused = True
+            self._target = ready
+            self.sim._schedule(ready, delay=0)
+            ready.callbacks.append(self._resume)
+        else:
+            next_target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        status = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {status}>"
+
+
+def sleep(sim: Simulator, delay: int) -> Event:
+    """Readable alias for ``sim.timeout(delay)`` inside process code."""
+    return sim.timeout(delay)

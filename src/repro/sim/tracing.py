@@ -1,0 +1,76 @@
+"""Lightweight structured tracing.
+
+Components publish ``(time, source, kind, payload)`` records to a
+:class:`Tracer`; sinks subscribe by kind (or to everything). Metrics
+collectors are just sinks, so measurement never reaches into component
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from .core import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: int
+    source: str
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+TraceSink = Callable[[TraceRecord], None]
+
+
+class Tracer:
+    """Pub/sub hub for trace records, keyed by record ``kind``."""
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self._sinks_by_kind: dict[str, list[TraceSink]] = {}
+        self._global_sinks: list[TraceSink] = []
+
+    def subscribe(self, sink: TraceSink, kinds: Optional[Iterable[str]] = None) -> None:
+        """Attach ``sink``; with ``kinds=None`` it receives every record."""
+        if kinds is None:
+            self._global_sinks.append(sink)
+            return
+        for kind in kinds:
+            self._sinks_by_kind.setdefault(kind, []).append(sink)
+
+    def emit(self, source: str, kind: str, **payload: Any) -> None:
+        """Publish a record stamped with the current simulation time."""
+        if not self.enabled:
+            return
+        sinks = self._sinks_by_kind.get(kind)
+        if not sinks and not self._global_sinks:
+            return  # nobody listening: skip record construction entirely
+        record = TraceRecord(time=self.sim.now, source=source, kind=kind, payload=payload)
+        if sinks:
+            for sink in sinks:
+                sink(record)
+        for sink in self._global_sinks:
+            sink(record)
+
+
+class TraceLog:
+    """A sink that simply accumulates records (useful in tests)."""
+
+    def __init__(self):
+        self.records: list[TraceRecord] = []
+
+    def __call__(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All collected records with the given kind."""
+        return [r for r in self.records if r.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,186 @@
+"""The x86-IXP prototype testbed (paper Figure 3), assembled in one call.
+
+A :class:`Testbed` wires together everything the paper's prototype had: the
+Xen-managed x86 island, the IXP island, the PCIe DMA path with its host
+message rings and Dom0 messaging driver, the Xen bridge, the coordination
+channel with an agent on each side, and the global controller. Application
+models then only need :meth:`create_guest_vm` and :meth:`add_client_host`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .coordination import MESSAGE_HANDLING_COST, CoordinationAgent
+from .interconnect import (
+    DEFAULT_CHANNEL_LATENCY,
+    CoordinationChannel,
+    MessageRing,
+    MessagingDriver,
+    PCIeBus,
+)
+from .ixp import IXPIsland, IXPParams
+from .net import DuplexLink, VirtualNIC, XenBridge
+from .platform import EntityId, GlobalController
+from .sim import RandomStreams, Simulator, Tracer, us
+from .x86 import VirtualMachine, X86Island, X86Params
+
+
+@dataclass(frozen=True, slots=True)
+class TestbedConfig:
+    """Shape and timing of the whole prototype platform."""
+
+    seed: int = 1
+    x86: X86Params = X86Params()
+    ixp: IXPParams = IXPParams()
+    #: One-way latency of the PCI-config-space coordination channel.
+    channel_latency: int = DEFAULT_CHANNEL_LATENCY
+    #: IXP -> host interrupt moderation delay.
+    interrupt_delay: int = us(50)
+    #: Fraction of one Dom0 VCPU the polling messaging driver burns
+    #: spinning on the rings (0 = pure interrupt mode, free).
+    driver_poll_burn_duty: float = 0.0
+    #: Wire link latency between client hosts and the IXP ports.
+    wire_latency: int = us(100)
+    #: Wire bandwidth in bytes/ns (default: 1 GbE).
+    wire_bandwidth: float = 0.125
+    #: Host message ring sizes, in descriptors.
+    ring_capacity: int = 1024
+    #: Enable structured tracing (off by default: it costs time).
+    tracing: bool = False
+    #: Model the paper's §3.3 hardware-assisted coordination: fast on-chip
+    #: signalling (1 us channel) delivered by hardware queues, with no
+    #: Dom0 software handling cost per message. Overrides channel_latency.
+    hardware_coordination: bool = False
+
+
+class ClientHost:
+    """An external client machine: a NIC on the wire, no CPU model.
+
+    The paper's clients ran on a separate dual-core box that was never the
+    bottleneck, so client application logic executes untimed; only its
+    traffic is real.
+    """
+
+    def __init__(self, sim: Simulator, name: str, nic: VirtualNIC):
+        self.sim = sim
+        self.name = name
+        self.nic = nic
+
+    def __repr__(self) -> str:
+        return f"<ClientHost {self.name}>"
+
+
+class Testbed:
+    """The fully-wired two-island platform."""
+
+    def __init__(self, config: Optional[TestbedConfig] = None):
+        self.config = config or TestbedConfig()
+        self.sim = Simulator()
+        self.rng = RandomStreams(self.config.seed)
+        self.tracer = Tracer(self.sim, enabled=self.config.tracing)
+
+        # Islands.
+        self.x86 = X86Island(self.sim, self.config.x86, tracer=self.tracer)
+        self.ixp = IXPIsland(self.sim, self.config.ixp, tracer=self.tracer)
+        self.dom0 = self.x86.dom0
+
+        # Host <-> IXP data path.
+        self.pcie = PCIeBus(self.sim)
+        self.rx_ring = MessageRing(self.sim, "ixp-to-host", capacity=self.config.ring_capacity)
+        self.tx_ring = MessageRing(self.sim, "host-to-ixp", capacity=self.config.ring_capacity)
+        self.driver = MessagingDriver(
+            self.sim,
+            self.dom0,
+            self.rx_ring,
+            self.tx_ring,
+            interrupt_delay=self.config.interrupt_delay,
+            poll_burn_duty=self.config.driver_poll_burn_duty,
+            tracer=self.tracer,
+        )
+        self.bridge = XenBridge(self.sim, self.dom0, tracer=self.tracer)
+        self.driver.connect_stack(self.bridge.submit)
+        self.bridge.set_uplink(self.driver.transmit)
+        self.ixp.attach_host(self.pcie, self.rx_ring, self.tx_ring)
+
+        # Coordination channel + per-island agents.
+        channel_latency = us(1) if self.config.hardware_coordination else (
+            self.config.channel_latency
+        )
+        self.channel = CoordinationChannel(
+            self.sim, latency=channel_latency, tracer=self.tracer
+        )
+        self.ixp.attach_channel(self.channel.endpoint("ixp"))
+        self.ixp_agent = CoordinationAgent(
+            self.sim, self.ixp, self.channel.endpoint("ixp"), tracer=self.tracer
+        )
+        self.x86_agent = CoordinationAgent(
+            self.sim,
+            self.x86,
+            self.channel.endpoint("x86"),
+            handler_vm=self.dom0,
+            handling_cost=0 if self.config.hardware_coordination else MESSAGE_HANDLING_COST,
+            tracer=self.tracer,
+        )
+
+        # Global controller (a Dom0 function in the prototype, §2.3).
+        self.controller = GlobalController(self.sim, tracer=self.tracer)
+        self.controller.register_island(self.x86)
+        self.controller.register_island(self.ixp)
+
+        self._clients: dict[str, ClientHost] = {}
+
+    # -- deployment -----------------------------------------------------------
+
+    def create_guest_vm(
+        self,
+        name: str,
+        weight: Optional[int] = None,
+        uses_ixp: bool = True,
+        nic_rx_capacity: int = 2048,
+    ) -> tuple[VirtualMachine, VirtualNIC]:
+        """Boot a guest domain with a bridged NIC; optionally give it an
+        IXP flow queue (VMs whose traffic transits the IXP).
+
+        ``nic_rx_capacity`` is the netfront ring depth in packets; a slow
+        guest overflows it and loses packets, like the real I/O path.
+        """
+        vm = self.x86.create_vm(name, weight=weight)
+        nic = VirtualNIC(self.sim, name, rx_capacity=nic_rx_capacity)
+        self.bridge.add_port(name, nic)
+        if uses_ixp:
+            self.ixp.register_vm_flow(name)
+        return vm, nic
+
+    def add_client_host(self, name: str) -> ClientHost:
+        """Attach an external client machine to the IXP's wire ports."""
+        if name in self._clients:
+            raise ValueError(f"client host {name!r} already attached")
+        nic = VirtualNIC(self.sim, name)
+        uplink = DuplexLink(
+            self.sim,
+            f"wire-{name}",
+            bandwidth_bytes_per_ns=self.config.wire_bandwidth,
+            latency=self.config.wire_latency,
+            tracer=self.tracer,
+        )
+        # client -> IXP
+        nic.attach_egress(uplink.forward.send)
+        uplink.forward.connect(self.ixp.wire_sink())
+        # IXP -> client
+        uplink.backward.connect(nic.deliver)
+        self.ixp.connect_peer(name, uplink.backward)
+        client = ClientHost(self.sim, name, nic)
+        self._clients[name] = client
+        return client
+
+    def vm_entity(self, vm_name: str) -> EntityId:
+        """The coordination identity of a guest VM on the x86 island."""
+        return EntityId(self.x86.name, vm_name)
+
+    # -- convenience ---------------------------------------------------------------
+
+    def run(self, until: int) -> None:
+        """Advance the whole platform to time ``until``."""
+        self.sim.run(until=until)

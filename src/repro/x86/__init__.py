@@ -1,0 +1,30 @@
+"""The x86 island: Xen credit scheduler, domains, Dom0 and XenCtrl."""
+
+from .cpu import PhysicalCPU
+from .credit import CreditScheduler
+from .guest import GuestAccounting, GuestKernel, WorkItem
+from .island import DOM0_NAME, X86Island
+from .params import CreditParams, X86Params
+from .vcpu import VCPU, Priority, VCPUState
+from .vm import VirtualMachine
+from .xenctrl import MAX_WEIGHT, MIN_WEIGHT, TUNE_CPU_COST, XenCtl
+
+__all__ = [
+    "CreditParams",
+    "CreditScheduler",
+    "DOM0_NAME",
+    "GuestAccounting",
+    "GuestKernel",
+    "MAX_WEIGHT",
+    "MIN_WEIGHT",
+    "PhysicalCPU",
+    "Priority",
+    "TUNE_CPU_COST",
+    "VCPU",
+    "VCPUState",
+    "VirtualMachine",
+    "WorkItem",
+    "X86Island",
+    "X86Params",
+    "XenCtl",
+]

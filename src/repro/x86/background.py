@@ -1,0 +1,52 @@
+"""Guest-OS background load.
+
+2008-era guests are never fully quiescent: periodic kernel ticks (pre-
+tickless HZ=100..1000 timers), JVM and MySQL housekeeping threads, cron,
+monitoring agents. This matters for scheduling studies because it keeps
+VCPUs runnable beyond their request-handling work — which is what makes
+run queues form and credit priorities bite. The load is a duty-cycled
+burst: every ``period``, the guest burns ``duty`` of it as system time.
+"""
+
+from __future__ import annotations
+
+from ..sim import Simulator, ms
+from .vm import VirtualMachine
+
+DEFAULT_PERIOD = ms(10)
+
+
+class GuestBackgroundLoad:
+    """Duty-cycled housekeeping CPU burner inside one VM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vm: VirtualMachine,
+        duty: float = 0.08,
+        period: int = DEFAULT_PERIOD,
+        kind: str = "sys",
+    ):
+        if not 0.0 <= duty < 1.0:
+            raise ValueError(f"duty must be in [0, 1), got {duty}")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.vm = vm
+        self.duty = duty
+        self.period = period
+        self.kind = kind
+        self.bursts = 0
+        if duty > 0:
+            sim.spawn(self._loop(), name=f"background-{vm.name}")
+
+    def _loop(self):
+        burst = round(self.period * self.duty)
+        while True:
+            yield self.sim.timeout(self.period)
+            # Submit without waiting: if the guest is starved the backlog
+            # is bounded to one burst (skip when the previous one is still
+            # queued, like a timer tick coalescing).
+            if self.vm.guest.queue_length < 64:
+                self.vm.submit(burst, kind=self.kind)
+                self.bursts += 1

@@ -1,0 +1,71 @@
+"""Physical CPU model for the x86 island.
+
+A :class:`PhysicalCPU` is a passive record: the scheduler's per-CPU loop
+process drives it. It tracks the currently running VCPU, its own run queue,
+and idle-time accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Event, Process, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .vcpu import VCPU
+
+
+class PhysicalCPU:
+    """One core of the host processor."""
+
+    def __init__(self, sim: Simulator, index: int):
+        self.sim = sim
+        self.index = index
+        #: DVFS speed factor: 1.0 = nominal frequency. CPU demand is
+        #: expressed at nominal speed, so wall time for a burst is
+        #: ``demand / speed``. Changed via the scheduler's set_speed so
+        #: in-flight work is re-timed correctly.
+        self.speed = 1.0
+        #: VCPU currently executing here (None while idle).
+        self.current: Optional["VCPU"] = None
+        #: Runnable VCPUs parked on this core, kept sorted by priority by
+        #: the scheduler (head = next to run).
+        self.run_queue: deque["VCPU"] = deque()
+        #: The scheduler loop process bound to this core.
+        self.loop: Optional[Process] = None
+        #: Event the idle loop waits on; succeeding it wakes the core.
+        self.idle_event: Optional[Event] = None
+        self._idle_accum = 0
+        self._idle_since: Optional[int] = None
+
+    @property
+    def is_idle(self) -> bool:
+        """True while the core has no VCPU in context."""
+        return self.current is None
+
+    @property
+    def idle_time(self) -> int:
+        """Total time spent with nothing to run (including an open idle
+        interval, so the value is current at any point of the run)."""
+        open_interval = self.sim.now - self._idle_since if self._idle_since is not None else 0
+        return self._idle_accum + open_interval
+
+    def note_idle_start(self) -> None:
+        """Scheduler hook: the core just went idle."""
+        self._idle_since = self.sim.now
+
+    def note_idle_end(self) -> None:
+        """Scheduler hook: the core found work again."""
+        if self._idle_since is not None:
+            self._idle_accum += self.sim.now - self._idle_since
+            self._idle_since = None
+
+    def kick(self) -> None:
+        """Wake the idle loop, if it is parked."""
+        if self.idle_event is not None and not self.idle_event.triggered:
+            self.idle_event.succeed()
+
+    def __repr__(self) -> str:
+        running = self.current.name if self.current else "idle"
+        return f"<PhysicalCPU {self.index} {running} queue={len(self.run_queue)}>"

@@ -1,0 +1,174 @@
+"""The x86 scheduling island: Xen hypervisor + Dom0 + guest domains.
+
+This is one of the two islands of the paper's prototype (§2.2): a multicore
+x86 host virtualised with Xen, its resources managed by the credit
+scheduler and the privileged controller domain Dom0. The island translates
+the standard coordination mechanisms into its native knobs:
+
+* **Tune(vm, ±delta)** -> XenCtrl credit-weight adjustment;
+* **Trigger(vm)**      -> runqueue boost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..platform import EntityId, Island
+from ..sim import Simulator, Tracer
+from .credit import CreditScheduler
+from .params import X86Params
+from .vm import VirtualMachine
+from .xenctrl import XenCtl
+
+#: Conventional name of the privileged controller domain.
+DOM0_NAME = "Domain-0"
+
+
+class X86Island(Island):
+    """x86 cores under the Xen credit scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Optional[X86Params] = None,
+        name: str = "x86",
+        tracer: Optional[Tracer] = None,
+    ):
+        super().__init__(sim, name, tracer=tracer)
+        self.params = params or X86Params()
+        self.scheduler = CreditScheduler(
+            sim, num_cpus=self.params.num_cpus, params=self.params.credit, tracer=self.tracer
+        )
+        # Dom0: unpinned, one VCPU per physical core (paper §3.1: "Dom0 ...
+        # has unpinned VCPUs and can execute on all CPUs").
+        self.dom0 = VirtualMachine(
+            sim,
+            DOM0_NAME,
+            weight=self.params.dom0_weight,
+            num_vcpus=self.params.num_cpus,
+        )
+        self.scheduler.add_domain(self.dom0)
+        self.xenctl = XenCtl(sim, self.scheduler, dom0=self.dom0, tracer=self.tracer)
+        self._vms: dict[str, VirtualMachine] = {DOM0_NAME: self.dom0}
+
+    # -- domain lifecycle ---------------------------------------------------
+
+    def create_vm(
+        self, name: str, weight: Optional[int] = None, num_vcpus: int = 1, memory_mb: int = 256
+    ) -> VirtualMachine:
+        """Boot a guest domain and register it for coordination."""
+        if name in self._vms:
+            raise ValueError(f"domain {name!r} already exists")
+        vm = VirtualMachine(
+            self.sim,
+            name,
+            weight=weight if weight is not None else self.params.credit.default_weight,
+            num_vcpus=num_vcpus,
+            memory_mb=memory_mb,
+        )
+        self.scheduler.add_domain(vm)
+        self._vms[name] = vm
+        self.register_entity(EntityId(self.name, name), vm)
+        self.tracer.emit(self.name, "vm-created", vm=name, weight=vm.weight)
+        return vm
+
+    def vm(self, name: str) -> VirtualMachine:
+        """Look up a domain by name (including Dom0)."""
+        return self._vms[name]
+
+    def vms(self) -> list[VirtualMachine]:
+        """All domains, Dom0 first."""
+        return list(self._vms.values())
+
+    def guest_vms(self) -> list[VirtualMachine]:
+        """All domains except Dom0."""
+        return [vm for name, vm in self._vms.items() if name != DOM0_NAME]
+
+    # -- optional shared disk ----------------------------------------------
+
+    def attach_disk(self, scheduler) -> None:
+        """Attach a :class:`~repro.x86.diskio.WeightedIOScheduler`.
+
+        Per-VM I/O queues created afterwards register as tunable entities
+        (``disk:<vm>``); the scheduler itself registers as ``disk``, whose
+        Tune delta adjusts the dispatcher's poll interval in microseconds
+        — literally the paper's "poll time adjustments in an I/O
+        scheduler" (§3.3).
+        """
+        self.disk = scheduler
+        self.register_entity(EntityId(self.name, "disk"), scheduler)
+
+    def create_disk_interface(self, vm: VirtualMachine, weight: int = 100):
+        """Give a domain a queue on the shared disk (requires attach_disk)."""
+        from .diskio import DiskInterface  # local import to avoid a cycle
+
+        if getattr(self, "disk", None) is None:
+            raise RuntimeError("no disk attached to this island")
+        interface = DiskInterface(self.disk, vm, weight=weight)
+        self.register_entity(EntityId(self.name, f"disk:{vm.name}"), interface.queue)
+        return interface
+
+    # -- optional balloon driver ----------------------------------------------
+
+    def attach_balloon(self, driver) -> None:
+        """Attach a :class:`~repro.x86.memory.BalloonDriver`."""
+        self.balloon = driver
+
+    def balloon_manage(self, vm: VirtualMachine, working_set_mb=None) -> None:
+        """Put a domain under balloon management and expose its memory
+        allocation as the tunable entity ``mem:<vm>`` (delta in MB)."""
+        from .memory import BalloonTarget  # local import to avoid a cycle
+
+        if getattr(self, "balloon", None) is None:
+            raise RuntimeError("no balloon driver attached to this island")
+        self.balloon.manage(vm, working_set_mb)
+        self.register_entity(
+            EntityId(self.name, f"mem:{vm.name}"), BalloonTarget(self.balloon, vm.name)
+        )
+
+    # -- coordination mechanism translation -----------------------------------
+
+    def _resolve(self, entity_id: EntityId) -> VirtualMachine:
+        entity = self.entity(entity_id)
+        if not isinstance(entity, VirtualMachine):
+            raise TypeError(f"{entity_id} is not a VM on island {self.name!r}")
+        return entity
+
+    def apply_tune(self, entity_id: EntityId, delta: int) -> None:
+        """Tune -> native knob: credit weight for VMs, scheduler weight
+        for disk I/O queues."""
+        from .diskio import IOQueue, WeightedIOScheduler  # avoid a cycle
+
+        entity = self.entity(entity_id)
+        if isinstance(entity, IOQueue):
+            applied = self.disk.adjust_weight(entity.vm_name, delta)
+            self.tracer.emit(
+                self.name, "tune-applied", io_queue=entity.vm_name,
+                delta=delta, weight=applied,
+            )
+            return
+        if isinstance(entity, WeightedIOScheduler):
+            # Delta is in microseconds of poll interval (+/-).
+            new_interval = max(0, entity.poll_interval + delta * 1000)
+            entity.set_poll_interval(new_interval)
+            self.tracer.emit(
+                self.name, "tune-applied", io_poll_interval=new_interval, delta=delta
+            )
+            return
+        from .memory import BalloonTarget  # local import to avoid a cycle
+
+        if isinstance(entity, BalloonTarget):
+            applied = entity.driver.adjust(entity.vm_name, delta)
+            self.tracer.emit(
+                self.name, "tune-applied", balloon=entity.vm_name, size_mb=applied
+            )
+            return
+        vm = self._resolve(entity_id)
+        applied = self.xenctl.adjust_weight(vm, delta)
+        self.tracer.emit(self.name, "tune-applied", vm=vm.name, delta=delta, weight=applied)
+
+    def apply_trigger(self, entity_id: EntityId) -> None:
+        """Trigger -> immediate runqueue boost through XenCtrl."""
+        vm = self._resolve(entity_id)
+        self.xenctl.boost(vm)
+        self.tracer.emit(self.name, "trigger-applied", vm=vm.name)

@@ -1,0 +1,49 @@
+"""Tunable constants of the x86/Xen island model.
+
+Defaults follow the Xen 3.x credit scheduler the paper's prototype ran
+(30 ms time slice, 10 ms tick, 30 ms accounting period, 100 credits debited
+per tick) and the paper's hardware (dual-core 2.66 GHz Xeon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import ms
+
+
+@dataclass(frozen=True, slots=True)
+class CreditParams:
+    """Knobs of the credit scheduler (Xen's csched)."""
+
+    #: Maximum uninterrupted run of one VCPU.
+    time_slice: int = ms(30)
+    #: Debit/boost-expiry tick.
+    tick_period: int = ms(10)
+    #: Credit redistribution period.
+    accounting_period: int = ms(30)
+    #: Credits taken from the running VCPU at each tick.
+    credits_per_tick: int = 100
+    #: Credits distributed per CPU per accounting period (Xen: 300 = 30 ms
+    #: at 100 credits / 10 ms).
+    credits_per_period_per_cpu: int = 300
+    #: Upper bound on accumulated credits; blocked VCPUs saturate here,
+    #: approximating Xen's active/inactive domain marking.
+    credit_cap: int = 300
+    #: Whether waking VCPUs with positive credits enter the BOOST priority.
+    boost_enabled: bool = True
+    #: Default weight given to new domains (Xen default).
+    default_weight: int = 256
+
+
+@dataclass(frozen=True, slots=True)
+class X86Params:
+    """Shape of the x86 host."""
+
+    #: Physical core count (paper: dual-core Xeon).
+    num_cpus: int = 2
+    #: Credit-scheduler parameters.
+    credit: CreditParams = CreditParams()
+    #: Dom0's credit weight. Driver-domain deployments often provision
+    #: Dom0 above the guest default so packet relaying keeps up.
+    dom0_weight: int = 256

@@ -1,0 +1,65 @@
+"""Virtual CPUs and their credit-scheduler state."""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cpu import PhysicalCPU
+    from .vm import VirtualMachine
+
+
+class Priority(enum.IntEnum):
+    """Credit-scheduler priority bands; lower numeric value runs first."""
+
+    BOOST = 0
+    UNDER = 1
+    OVER = 2
+
+
+class VCPUState(enum.Enum):
+    """Lifecycle of a virtual CPU."""
+
+    BLOCKED = "blocked"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+
+
+class VCPU:
+    """A virtual CPU: the unit the credit scheduler multiplexes on cores."""
+
+    def __init__(self, vm: "VirtualMachine", index: int):
+        self.vm = vm
+        self.index = index
+        self.name = f"{vm.name}.vcpu{index}"
+        self.state = VCPUState.BLOCKED
+        self.priority = Priority.UNDER
+        #: Credit balance; replenished by accounting, debited by ticks.
+        self.credits: float = 0.0
+        #: True while in the transient BOOST band (cleared at next tick).
+        self.boosted = False
+        #: Core the VCPU last ran (or is running) on.
+        self.cpu: Optional["PhysicalCPU"] = None
+        #: Cores this VCPU may run on; None means unpinned (any core).
+        self.affinity: Optional[frozenset[int]] = None
+        #: Total time actually executed.
+        self.runtime = 0
+        #: Timestamp when the VCPU last became runnable (for steal time).
+        self.runnable_since: Optional[int] = None
+
+    def allowed_on(self, cpu: "PhysicalCPU") -> bool:
+        """Whether affinity permits running on ``cpu``."""
+        return self.affinity is None or cpu.index in self.affinity
+
+    def effective_priority(self) -> Priority:
+        """Priority band used for run-queue ordering."""
+        if self.boosted:
+            return Priority.BOOST
+        return Priority.UNDER if self.credits >= 0 else Priority.OVER
+
+    def __repr__(self) -> str:
+        return (
+            f"<VCPU {self.name} {self.state.value} {self.effective_priority().name}"
+            f" credits={self.credits:.0f}>"
+        )

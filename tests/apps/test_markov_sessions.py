@@ -1,0 +1,76 @@
+"""Tests for the per-type Markov session model."""
+
+import pytest
+from collections import Counter
+
+from repro.apps.rubis import BY_NAME, MarkovSession, RubisConfig, TRANSITIONS, deploy_rubis
+from repro.sim import RandomStreams, ms, seconds
+
+
+class TestTransitionTable:
+    def test_every_row_and_target_is_a_known_type(self):
+        for source, row in TRANSITIONS.items():
+            assert source in BY_NAME
+            for target in row:
+                assert target in BY_NAME
+
+    def test_every_type_has_a_row(self):
+        assert set(TRANSITIONS) == set(BY_NAME)
+
+    def test_bid_funnel_present(self):
+        """The paper-relevant write funnel must exist in the chain."""
+        assert "PutBid" in TRANSITIONS["PutBidAuth"]
+        assert "StoreBid" in TRANSITIONS["PutBid"]
+
+
+class TestMarkovSession:
+    def test_unknown_start_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovSession(RandomStreams(1).stream("x"), start="TeleportHome")
+
+    def test_chain_is_deterministic_per_seed(self):
+        def walk(seed):
+            chain = MarkovSession(RandomStreams(seed).stream("x"))
+            return [chain.next_type().name for _ in range(50)]
+
+        assert walk(3) == walk(3)
+        assert walk(3) != walk(4)
+
+    def test_visits_entire_catalogue(self):
+        chain = MarkovSession(RandomStreams(1).stream("x"))
+        visited = {chain.next_type().name for _ in range(3000)}
+        assert visited == set(BY_NAME)
+
+    def test_funnel_statistics(self):
+        """From PutBidAuth, PutBid follows most of the time."""
+        rng = RandomStreams(2).stream("x")
+        followed = 0
+        trials = 500
+        for _ in range(trials):
+            chain = MarkovSession(rng, start="PutBidAuth")
+            if chain.next_type().name == "PutBid":
+                followed += 1
+        assert followed > trials * 0.6
+
+    def test_stationary_mix_is_browse_heavy(self):
+        chain = MarkovSession(RandomStreams(5).stream("x"))
+        counts = Counter(chain.next_type().name for _ in range(5000))
+        reads = sum(c for name, c in counts.items() if BY_NAME[name].request_class == "read")
+        assert reads > 0.55 * 5000
+
+
+class TestClientIntegration:
+    def test_markov_mode_end_to_end(self):
+        config = RubisConfig(
+            num_sessions=8,
+            requests_per_session=6,
+            think_time_mean=ms(80),
+            warmup=0,
+            markov_sessions=True,
+        )
+        deployment = deploy_rubis(config)
+        deployment.run(seconds(6))
+        stats = deployment.client.stats
+        assert stats.responses.count() > 20
+        # Browse is the hub state: it must appear.
+        assert "Browse" in stats.responses.keys()

@@ -1,0 +1,112 @@
+"""Tests for the MPlayer application model."""
+
+import pytest
+
+from repro.apps.mplayer import (
+    BurstProfile,
+    DISK_CLIP,
+    DOM1,
+    DOM2,
+    HIGH_RATE_STREAM,
+    LOW_RATE_STREAM,
+    MPlayerConfig,
+    StreamSpec,
+    deploy_mplayer,
+)
+from repro.sim import ms, seconds
+
+
+class TestStreamSpec:
+    def test_frame_geometry(self):
+        assert LOW_RATE_STREAM.frame_bytes == round(300_000 / 8 / 20)
+        assert LOW_RATE_STREAM.frame_interval == 50_000_000  # 50 ms
+
+    def test_decode_share_orders_streams(self):
+        assert HIGH_RATE_STREAM.cpu_share_required() > LOW_RATE_STREAM.cpu_share_required()
+        assert 0 < LOW_RATE_STREAM.cpu_share_required() < 1
+
+    def test_disk_clip_is_light(self):
+        assert DISK_CLIP.cpu_share_required() < LOW_RATE_STREAM.cpu_share_required()
+
+    def test_invalid_stream_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSpec("bad", bitrate_bps=0, framerate_fps=25)
+
+
+class TestBurstProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstProfile(factor=0.5)
+        with pytest.raises(ValueError):
+            BurstProfile(period_s=5, duration_s=6)
+
+
+class TestStreamingDeployment:
+    def test_frames_arrive_and_decode(self):
+        deployment = deploy_mplayer(MPlayerConfig())
+        deployment.run(seconds(10))
+        assert deployment.dom1_player.frames_decoded > 0
+        assert deployment.dom2_player.frames_decoded > 0
+        assert deployment.server.sessions_started == 2
+
+    def test_fps_near_nominal_for_uncontended_stream(self):
+        """With no Dom0 poll burn, both streams decode at full rate."""
+        from repro.testbed import TestbedConfig
+
+        config = MPlayerConfig(testbed=TestbedConfig(driver_poll_burn_duty=0.0))
+        deployment = deploy_mplayer(config)
+        deployment.run(seconds(20))
+        fps1 = deployment.dom1_fps(seconds(5), seconds(20))
+        fps2 = deployment.dom2_fps(seconds(5), seconds(20))
+        assert 19.0 <= fps1 <= 21.0
+        assert 24.0 <= fps2 <= 26.0
+
+    def test_rtsp_setup_reaches_policy(self):
+        deployment = deploy_mplayer(MPlayerConfig())
+        deployment.run(seconds(2))
+        assert set(deployment.qos_policy.streams) == {DOM1, DOM2}
+        state = deployment.qos_policy.streams[DOM2]
+        assert state.is_high_bitrate
+        assert state.is_high_framerate
+
+    def test_streams_classified_per_vm(self):
+        deployment = deploy_mplayer(MPlayerConfig())
+        deployment.run(seconds(5))
+        flows = deployment.testbed.ixp.classifier.by_flow
+        assert DOM1 in flows and DOM2 in flows
+
+    def test_disk_player_touches_no_ixp(self):
+        deployment = deploy_mplayer(MPlayerConfig(dom2_disk=True))
+        deployment.run(seconds(5))
+        assert DOM2 not in deployment.testbed.ixp.flow_queues
+        assert deployment.dom2_disk_player.frames_decoded > 0
+
+    def test_disk_player_is_cpu_bound_hog(self):
+        deployment = deploy_mplayer(MPlayerConfig(dom2_disk=True))
+        deployment.run(seconds(10))
+        vm2 = deployment.testbed.x86.vm(DOM2)
+        assert vm2.cpu_time() > seconds(4)  # large CPU consumer
+
+    def test_bursty_stream_builds_ixp_buffer(self):
+        config = MPlayerConfig(
+            dom1_stream=HIGH_RATE_STREAM,
+            dom2_disk=True,
+            dom1_burst=BurstProfile(period_s=10, duration_s=2, factor=3.0),
+            dom1_ixp_poll_interval=ms(57),
+        )
+        deployment = deploy_mplayer(config)
+        deployment.run(seconds(15))
+        queue = deployment.testbed.ixp.flow_queues[DOM1]
+        assert queue.bytes_high_watermark > 64 * 1024
+
+    def test_frame_skipping_bounds_decode_backlog(self):
+        from repro.apps.mplayer.player import DECODE_QUEUE_LIMIT
+
+        config = MPlayerConfig(dom2_disk=True, dom1_burst=BurstProfile(factor=4.0))
+        deployment = deploy_mplayer(config)
+        deployment.run(seconds(30))
+        assert deployment.dom1_player.backlog_frames <= DECODE_QUEUE_LIMIT
+
+    def test_trigger_policy_only_when_enabled(self):
+        assert deploy_mplayer(MPlayerConfig()).trigger_policy is None
+        assert deploy_mplayer(MPlayerConfig(buffer_trigger=True)).trigger_policy is not None

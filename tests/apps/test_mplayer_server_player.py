@@ -1,0 +1,133 @@
+"""Tests for the streaming server's pacing/bursts and the player's
+frame assembly and skipping."""
+
+import pytest
+
+from repro.apps.mplayer import (
+    BurstProfile,
+    DOM1,
+    HIGH_RATE_STREAM,
+    LOW_RATE_STREAM,
+    MPlayerConfig,
+    deploy_mplayer,
+)
+from repro.apps.mplayer.player import DECODE_QUEUE_LIMIT, MPlayerClient
+from repro.net import Packet, VirtualNIC
+from repro.sim import Simulator, ms, seconds
+from repro.testbed import TestbedConfig
+from repro.x86 import CreditScheduler, VirtualMachine
+
+
+class TestServerPacing:
+    def test_nominal_rate_matches_stream_fps(self):
+        deployment = deploy_mplayer(
+            MPlayerConfig(testbed=TestbedConfig(driver_poll_burn_duty=0.0))
+        )
+        deployment.run(seconds(10))
+        sent = deployment.server.frames_sent[DOM1]
+        # ~20 fps for ~9.85s of streaming (0.15s session setup).
+        assert 185 <= sent <= 205
+
+    def test_burst_profile_raises_mean_rate(self):
+        burst = BurstProfile(period_s=5, duration_s=2.5, factor=3.0)
+        config = MPlayerConfig(
+            testbed=TestbedConfig(driver_poll_burn_duty=0.0),
+            dom1_burst=burst,
+        )
+        deployment = deploy_mplayer(config)
+        deployment.run(seconds(10))
+        sent = deployment.server.frames_sent[DOM1]
+        # Half the time at 3x: mean rate ~2x nominal.
+        assert sent > 300
+
+    def test_rtsp_setup_precedes_rtp(self):
+        deployment = deploy_mplayer(
+            MPlayerConfig(testbed=TestbedConfig(driver_poll_burn_duty=0.0))
+        )
+        kinds = []
+        deployment.testbed.ixp.add_classified_hook(
+            lambda p, f: kinds.append(p.kind) if p.dst == DOM1 else None
+        )
+        deployment.run(seconds(2))
+        assert kinds[0] == "rtsp-setup"
+        assert "rtp" in kinds
+
+
+def make_player(num_vcpus=1):
+    sim = Simulator()
+    scheduler = CreditScheduler(sim, num_cpus=2)
+    vm = VirtualMachine(sim, "player", num_vcpus=num_vcpus)
+    scheduler.add_domain(vm)
+    nic = VirtualNIC(sim, "player")
+    player = MPlayerClient(sim, vm, nic, cost_model=LOW_RATE_STREAM.cost_model)
+    return sim, nic, player
+
+
+def rtp(frame_id, frag_index, frag_count, frame_bytes=1875):
+    return Packet(
+        src="server",
+        dst="player",
+        size=min(1400, frame_bytes),
+        kind="rtp",
+        payload={
+            "session": 1,
+            "frame_id": frame_id,
+            "frag_index": frag_index,
+            "frag_count": frag_count,
+            "frame_bytes": frame_bytes,
+        },
+    )
+
+
+class TestFrameAssembly:
+    def test_frame_decodes_when_all_fragments_arrive(self):
+        sim, nic, player = make_player()
+        nic.deliver(rtp(0, 0, 2))
+        nic.deliver(rtp(0, 1, 2))
+        sim.run(until=seconds(1))
+        assert player.frames_decoded == 1
+
+    def test_fragments_out_of_order_still_assemble(self):
+        sim, nic, player = make_player()
+        nic.deliver(rtp(0, 1, 2))
+        nic.deliver(rtp(0, 0, 2))
+        sim.run(until=seconds(1))
+        assert player.frames_decoded == 1
+
+    def test_partial_frame_garbage_collected(self):
+        sim, nic, player = make_player()
+        nic.deliver(rtp(0, 0, 2))  # second fragment never arrives
+        sim.run(until=seconds(3))
+        assert player.frames_decoded == 0
+        assert player.frames_dropped == 1
+        assert len(player._assembly) == 0
+
+    def test_non_rtp_packets_ignored(self):
+        sim, nic, player = make_player()
+        nic.deliver(Packet(src="s", dst="player", size=100, kind="rtsp-setup",
+                           payload={"rtsp_setup": {}}))
+        sim.run(until=seconds(1))
+        assert player.packets_received == 0
+
+    def test_single_vcpu_intake_serializes_with_decode(self):
+        """On one VCPU, packet intake interleaves with the owned decode
+        item, so every flooded frame is eventually decoded — no skips."""
+        sim, nic, player = make_player(num_vcpus=1)
+        for frame_id in range(DECODE_QUEUE_LIMIT * 3):
+            nic.deliver(rtp(frame_id, 0, 1))
+        sim.run(until=seconds(5))
+        assert player.frames_decoded == DECODE_QUEUE_LIMIT * 3
+        assert player.frames_skipped == 0
+
+    def test_skip_to_live_bounds_queue_and_counts(self):
+        """With concurrent intake (2 VCPUs), a flood outruns the decoder
+        and the player skips to the live edge instead of buffering."""
+        sim, nic, player = make_player(num_vcpus=2)
+        for frame_id in range(DECODE_QUEUE_LIMIT * 5):
+            nic.deliver(rtp(frame_id, 0, 1))
+        sim.run(until=ms(50))  # intake done, decoding barely started
+        assert player.backlog_frames <= DECODE_QUEUE_LIMIT
+        assert player.frames_skipped > 0
+        sim.run(until=seconds(5))
+        total = player.frames_decoded + player.frames_skipped
+        assert total == DECODE_QUEUE_LIMIT * 5

@@ -1,0 +1,150 @@
+"""Tests for the RUBiS application model."""
+
+import pytest
+
+from repro.apps.rubis import (
+    BIDDING_MIX,
+    BROWSING_MIX,
+    BY_NAME,
+    READ_TYPES,
+    REQUEST_TYPES,
+    WRITE_TYPES,
+    RubisConfig,
+    deploy_rubis,
+)
+from repro.apps.rubis.workload import PhaseSpec
+from repro.sim import RandomStreams, ms, seconds
+
+
+class TestRequestCatalogue:
+    def test_sixteen_types_as_in_table1(self):
+        assert len(REQUEST_TYPES) == 16
+
+    def test_classes_partition(self):
+        assert set(READ_TYPES) | set(WRITE_TYPES) == set(REQUEST_TYPES)
+        assert not set(READ_TYPES) & set(WRITE_TYPES)
+
+    def test_read_types_are_web_heavy(self):
+        """Offline profile: browsing is web-tier-heavy, db nearly idle."""
+        for rt in READ_TYPES:
+            assert rt.web_demand > rt.db_demand
+
+    def test_write_types_are_db_heavy(self):
+        for rt in WRITE_TYPES:
+            assert rt.db_demand > rt.web_demand
+
+    def test_heaviest_write_is_putcomment(self):
+        heaviest = max(WRITE_TYPES, key=lambda rt: rt.total_demand)
+        assert heaviest.name == "PutComment"
+
+    def test_by_name_lookup(self):
+        assert BY_NAME["ViewItem"].request_class == "read"
+
+    def test_call_chain_flags(self):
+        browse = BY_NAME["Browse"]
+        assert browse.uses_app and not browse.uses_db
+        put_bid = BY_NAME["PutBid"]
+        assert put_bid.uses_app and put_bid.uses_db
+
+
+class TestWorkloadMix:
+    def test_browsing_mix_is_read_only(self):
+        rng = RandomStreams(1).stream("t")
+        for _ in range(50):
+            assert BROWSING_MIX.next_class("read", rng) == "read"
+        assert BROWSING_MIX.initial_class(rng) == "read"
+
+    def test_bidding_mix_visits_both_classes(self):
+        rng = RandomStreams(1).stream("t")
+        classes = set()
+        current = "read"
+        for _ in range(200):
+            current = BIDDING_MIX.next_class(current, rng)
+            classes.add(current)
+        assert classes == {"read", "write"}
+
+    def test_draw_type_respects_class(self):
+        rng = RandomStreams(2).stream("t")
+        for _ in range(20):
+            assert BIDDING_MIX.draw_type("read", rng).request_class == "read"
+            assert BIDDING_MIX.draw_type("write", rng).request_class == "write"
+
+    def test_phase_class_probabilities(self):
+        rng = RandomStreams(3).stream("t")
+        storm = next(p for p in BIDDING_MIX.phases if "storm" in p.name)
+        draws = [BIDDING_MIX.class_in_phase(storm, rng) for _ in range(500)]
+        write_share = draws.count("write") / len(draws)
+        assert write_share > 0.7
+
+    def test_deterministic_phase_duration(self):
+        phase = PhaseSpec("p", 0.5, 10.0)
+        rng = RandomStreams(1).stream("t")
+        assert phase.duration(rng) == 10.0
+
+    def test_jittered_phase_duration(self):
+        phase = PhaseSpec("p", 0.5, 10.0, jitter=0.5)
+        rng = RandomStreams(1).stream("t")
+        samples = {phase.duration(rng) for _ in range(10)}
+        assert len(samples) > 1
+        assert all(5.0 <= s <= 15.0 for s in samples)
+
+
+class TestDeployment:
+    def _quick_config(self, **kwargs):
+        return RubisConfig(
+            num_sessions=kwargs.pop("num_sessions", 10),
+            requests_per_session=5,
+            think_time_mean=ms(100),
+            warmup=seconds(1),
+            **kwargs,
+        )
+
+    def test_requests_flow_end_to_end(self):
+        deployment = deploy_rubis(self._quick_config())
+        deployment.run(seconds(8))
+        stats = deployment.client.stats
+        assert stats.responses.count() > 10
+        assert deployment.web.handled > 0
+        assert deployment.app.handled > 0
+        assert deployment.db.handled > 0
+
+    def test_tier_call_graph(self):
+        """Inner tiers complete first; db only sees db-using requests."""
+        deployment = deploy_rubis(self._quick_config())
+        deployment.run(seconds(8))
+        # Every web request delegates to the app tier, and the app handler
+        # completes before its caller, so app >= web at any snapshot.
+        assert deployment.app.handled >= deployment.web.handled > 0
+        # Not every request touches the database.
+        assert deployment.db.handled <= deployment.app.handled
+
+    def test_all_tiers_burn_cpu(self):
+        deployment = deploy_rubis(self._quick_config())
+        deployment.run(seconds(8))
+        for vm_name in ("web-server", "app-server", "db-server"):
+            assert deployment.testbed.x86.vm(vm_name).cpu_time() > 0
+
+    def test_coordination_reaches_tier_weights(self):
+        deployment = deploy_rubis(self._quick_config(coordinated=True))
+        deployment.run(seconds(8))
+        assert deployment.policy is not None
+        assert deployment.policy.tunes_sent > 0
+        weights = {vm.name: vm.weight for vm in deployment.testbed.x86.guest_vms()}
+        assert any(w != 256 for w in weights.values())
+
+    def test_baseline_has_no_policy(self):
+        deployment = deploy_rubis(self._quick_config(coordinated=False))
+        assert deployment.policy is None
+
+    def test_ixp_classifies_request_types(self):
+        deployment = deploy_rubis(self._quick_config())
+        deployment.run(seconds(5))
+        flows = deployment.testbed.ixp.classifier.by_flow
+        assert any(flow.startswith("rubis:") for flow in flows)
+
+    def test_sessions_complete_and_are_timed(self):
+        deployment = deploy_rubis(self._quick_config())
+        deployment.run(seconds(15))
+        stats = deployment.client.stats
+        assert stats.sessions_completed > 0
+        assert stats.mean_session_time_s() > 0

@@ -1,0 +1,82 @@
+"""Tests for the RUBiS client's global phase machinery and bookkeeping."""
+
+from repro.apps.rubis import BIDDING_MIX, BROWSING_MIX, RubisConfig, deploy_rubis
+from repro.apps.rubis.client import RubisClient
+from repro.apps.rubis.workload import PhaseSpec, WorkloadMix
+from dataclasses import replace
+
+from repro.sim import ms, seconds
+
+
+def quick_config(**kwargs):
+    return RubisConfig(
+        num_sessions=kwargs.pop("num_sessions", 6),
+        requests_per_session=4,
+        think_time_mean=ms(80),
+        warmup=kwargs.pop("warmup", 0),
+        **kwargs,
+    )
+
+
+class TestGlobalPhases:
+    def test_phase_machine_cycles_in_order(self):
+        mix = replace(
+            BIDDING_MIX,
+            phases=(
+                PhaseSpec("one", 1.0, 0.5),
+                PhaseSpec("two", 0.0, 0.5),
+            ),
+        )
+        deployment = deploy_rubis(quick_config(mix=mix))
+        client = deployment.client
+        seen = []
+
+        def watcher(sim):
+            while True:
+                seen.append(client.current_phase.name)
+                yield sim.timeout(ms(250))
+
+        deployment.sim.spawn(watcher(deployment.sim))
+        deployment.run(seconds(2))
+        assert seen[:8] == ["one", "one", "two", "two", "one", "one", "two", "two"]
+
+    def test_storm_phase_produces_write_heavy_requests(self):
+        mix = replace(
+            BIDDING_MIX,
+            phases=(PhaseSpec("storm", 0.0, 100.0),),  # writes only, forever
+        )
+        deployment = deploy_rubis(quick_config(mix=mix))
+        deployment.run(seconds(5))
+        from repro.apps.rubis import BY_NAME
+
+        for name in deployment.client.stats.responses.keys():
+            assert BY_NAME[name].request_class == "write"
+
+    def test_markov_mode_when_no_phases(self):
+        deployment = deploy_rubis(quick_config(mix=BROWSING_MIX))
+        assert deployment.client.current_phase is None
+        deployment.run(seconds(3))
+        from repro.apps.rubis import BY_NAME
+
+        for name in deployment.client.stats.responses.keys():
+            assert BY_NAME[name].request_class == "read"
+
+
+class TestClientBookkeeping:
+    def test_warmup_excludes_early_samples(self):
+        cold = deploy_rubis(quick_config(warmup=seconds(3)))
+        cold.run(seconds(2))
+        assert cold.client.stats.responses.count() == 0
+        assert cold.client.requests_sent > 0
+
+    def test_throughput_counts_only_measured_requests(self):
+        deployment = deploy_rubis(quick_config(warmup=seconds(1)))
+        deployment.run(seconds(4))
+        stats = deployment.client.stats
+        assert stats.throughput.total == stats.responses.count()
+
+    def test_sessions_restart_after_completion(self):
+        deployment = deploy_rubis(quick_config())
+        deployment.run(seconds(12))
+        # 6 sessions x 4 requests at ~100-200 ms per cycle: several rounds.
+        assert deployment.client.stats.sessions_completed > 6

@@ -1,0 +1,305 @@
+"""Tests for the coordination layer: messages, agents and policies."""
+
+import pytest
+
+from repro.coordination import (
+    BufferMonitorTriggerPolicy,
+    CoordinationAgent,
+    RequestTypeTunePolicy,
+    StreamQoSTunePolicy,
+    TierEntities,
+    TriggerMessage,
+    TuneMessage,
+)
+from repro.coordination.mplayer_policy import STAGE_BITRATE, STAGE_FRAMERATE, STAGE_OFF
+from repro.interconnect import CoordinationChannel, MessageRing, PCIeBus
+from repro.ixp import IXPIsland, classify_by_destination
+from repro.net import Packet
+from repro.platform import EntityId
+from repro.sim import Simulator, ms, seconds, us
+from repro.x86 import X86Island
+
+
+def build_pair(sim, channel_latency=us(100)):
+    """An x86 island and an IXP island joined by a coordination channel."""
+    x86 = X86Island(sim)
+    ixp = IXPIsland(sim)
+    channel = CoordinationChannel(sim, latency=channel_latency)
+    x86_agent = CoordinationAgent(sim, x86, channel.endpoint("x86"), handler_vm=x86.dom0)
+    ixp_agent = CoordinationAgent(sim, ixp, channel.endpoint("ixp"))
+    return x86, ixp, x86_agent, ixp_agent
+
+
+class TestMessages:
+    def test_tune_repr(self):
+        message = TuneMessage(EntityId("x86", "web"), +64, reason="read")
+        assert "x86/web" in repr(message)
+        assert "+64" in repr(message)
+
+    def test_messages_hashable(self):
+        a = TuneMessage(EntityId("x86", "web"), 1)
+        b = TuneMessage(EntityId("x86", "web"), 1)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestAgent:
+    def test_tune_applied_after_channel_latency(self):
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim, channel_latency=us(500))
+        vm = x86.create_vm("guest")
+        ixp_agent.send_tune(EntityId("x86", "guest"), +64)
+        sim.run(until=us(400))
+        assert vm.weight == 256  # still in flight
+        sim.run(until=ms(50))
+        assert vm.weight == 320
+        assert x86_agent.tunes_applied == 1
+
+    def test_trigger_applied(self):
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        vm = x86.create_vm("guest")
+        ixp_agent.send_trigger(EntityId("x86", "guest"))
+        sim.run(until=ms(50))
+        assert x86_agent.triggers_applied == 1
+        assert vm.vcpus[0].boosted
+
+    def test_unknown_entity_counted_not_crashed(self):
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        ixp_agent.send_tune(EntityId("x86", "ghost"), +64)
+        sim.run(until=ms(50))
+        assert x86_agent.unknown_entities == 1
+
+    def test_handling_charges_dom0(self):
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        x86.create_vm("guest")
+        before = x86.dom0.cpu_time()
+        ixp_agent.send_tune(EntityId("x86", "guest"), +64)
+        sim.run(until=ms(50))
+        assert x86.dom0.cpu_time() > before
+
+    def test_x86_can_tune_ixp(self):
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        queue = ixp.register_vm_flow("vm1")
+        x86_agent.send_tune(EntityId("ixp", "vm1"), +2)
+        sim.run(until=ms(50))
+        assert queue.service_weight == 3
+
+    def test_unknown_message_type_rejected(self):
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        ixp_agent.endpoint.send({"not": "a coordination message"})
+        with pytest.raises(TypeError):
+            sim.run(until=ms(50))
+
+
+def classified_packet(request_type, request_class, dst="web-server"):
+    return Packet(
+        src="client",
+        dst=dst,
+        size=300,
+        kind="http-req",
+        payload={"request_type": request_type, "request_class": request_class},
+    )
+
+
+class TestRequestTypePolicy:
+    def _build(self, sim, **kwargs):
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        for name in ("web", "app", "db"):
+            x86.create_vm(name)
+        tiers = TierEntities(
+            web=EntityId("x86", "web"), app=EntityId("x86", "app"), db=EntityId("x86", "db")
+        )
+        policy = RequestTypeTunePolicy(sim, ixp, ixp_agent, tiers, **kwargs)
+        return x86, ixp, policy
+
+    def test_read_request_steers_toward_read_profile(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim, step=512)
+        policy._on_classified(classified_packet("Browse", "read"), "rubis:Browse")
+        sim.run(until=ms(50))
+        assert x86.vm("web").weight == policy.read_profile.web
+        assert x86.vm("db").weight == policy.read_profile.db
+
+    def test_write_request_steers_toward_write_profile(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim, step=512)
+        # db target (832) is further than one step from base: two requests
+        # are needed to converge.
+        policy._on_classified(classified_packet("PutBid", "write"), "rubis:PutBid")
+        policy._on_classified(classified_packet("PutBid", "write"), "rubis:PutBid")
+        sim.run(until=ms(50))
+        assert x86.vm("db").weight == policy.write_profile.db
+
+    def test_step_bounds_each_adjustment(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim, step=32)
+        policy._on_classified(classified_packet("Browse", "read"), "f")
+        sim.run(until=ms(50))
+        assert x86.vm("web").weight == 256 + 32
+
+    def test_converges_and_stops_sending(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim, step=512)
+        for _ in range(5):
+            policy._on_classified(classified_packet("Browse", "read"), "f")
+        sent_after_convergence = policy.tunes_sent
+        policy._on_classified(classified_packet("Browse", "read"), "f")
+        assert policy.tunes_sent == sent_after_convergence
+
+    def test_ignores_non_request_packets(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim)
+        policy._on_classified(Packet(src="a", dst="b", size=10), "flow")
+        assert policy.requests_seen == 0
+
+    def test_oscillating_mix_oscillates_weights(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim, step=64)
+        for _ in range(20):
+            policy._on_classified(classified_packet("Browse", "read"), "f")
+            policy._on_classified(classified_packet("PutBid", "write"), "f")
+        shadow = policy.shadow_weights()
+        # Oscillation parks the shadow between the two profiles.
+        web_shadow = shadow[policy.tiers.web]
+        assert policy.write_profile.web <= web_shadow <= policy.read_profile.web
+
+
+def rtsp_packet(dst, bitrate, fps):
+    return Packet(
+        src="server",
+        dst=dst,
+        size=400,
+        kind="rtsp-setup",
+        payload={"rtsp_setup": {"session": 1, "bitrate_bps": bitrate, "framerate_fps": fps,
+                                "codec": "h264"}},
+    )
+
+
+class TestStreamQoSPolicy:
+    def _build(self, sim, stage=STAGE_BITRATE):
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        for name in ("dom1", "dom2"):
+            x86.create_vm(name)
+            ixp.register_vm_flow(name)
+        entities = {"dom1": EntityId("x86", "dom1"), "dom2": EntityId("x86", "dom2")}
+        policy = StreamQoSTunePolicy(sim, ixp, ixp_agent, entities, stage=stage)
+        return x86, ixp, policy
+
+    def test_high_bitrate_stream_gets_increase(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim)
+        policy._on_classified(rtsp_packet("dom2", 1_000_000, 25.0), "dom2")
+        sim.run(until=ms(50))
+        assert x86.vm("dom2").weight == 256 + 256
+
+    def test_mid_stream_gets_half_increase(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim)
+        policy._on_classified(rtsp_packet("dom1", 300_000, 20.0), "dom1")
+        sim.run(until=ms(50))
+        assert x86.vm("dom1").weight == 256 + 128
+
+    def test_low_stream_gets_decrease(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim)
+        policy._on_classified(rtsp_packet("dom1", 100_000, 10.0), "dom1")
+        sim.run(until=ms(50))
+        assert x86.vm("dom1").weight == 256 - 128
+
+    def test_stage_off_learns_but_does_not_act(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim, stage=STAGE_OFF)
+        policy._on_classified(rtsp_packet("dom2", 1_000_000, 25.0), "dom2")
+        sim.run(until=ms(50))
+        assert x86.vm("dom2").weight == 256
+        assert "dom2" in policy.streams
+
+    def test_advance_stage_reactuates(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim, stage=STAGE_OFF)
+        policy._on_classified(rtsp_packet("dom2", 1_000_000, 25.0), "dom2")
+        policy._on_classified(rtsp_packet("dom1", 300_000, 20.0), "dom1")
+        sim.run(until=ms(50))
+        policy.advance_stage(STAGE_BITRATE)
+        sim.run(until=ms(100))
+        assert x86.vm("dom1").weight == 384
+        assert x86.vm("dom2").weight == 512
+        policy.advance_stage(STAGE_FRAMERATE)
+        sim.run(until=ms(150))
+        assert x86.vm("dom2").weight == 640
+        assert x86.vm("dom1").weight == 384  # 20 fps < high-framerate bar
+
+    def test_framerate_stage_adds_ixp_threads(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim, stage=STAGE_FRAMERATE)
+        queue = ixp.flow_queues["dom2"]
+        before = queue.service_weight
+        policy._on_classified(rtsp_packet("dom2", 1_000_000, 25.0), "dom2")
+        sim.run(until=ms(50))
+        assert queue.service_weight == before + 2
+
+    def test_duplicate_setup_ignored(self):
+        sim = Simulator()
+        x86, ixp, policy = self._build(sim)
+        policy._on_classified(rtsp_packet("dom2", 1_000_000, 25.0), "dom2")
+        policy._on_classified(rtsp_packet("dom2", 1_000_000, 25.0), "dom2")
+        assert policy.tunes_sent == 1
+
+    def test_unknown_stage_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            self._build(sim, stage="turbo")
+
+
+class TestBufferMonitorPolicy:
+    def _build(self, sim, threshold=1000, cooldown=ms(100)):
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        x86.create_vm("dom1")
+        queue = ixp.register_vm_flow("dom1")
+        policy = BufferMonitorTriggerPolicy(
+            sim, ixp, ixp_agent, {"dom1": EntityId("x86", "dom1")},
+            threshold_bytes=threshold, cooldown=cooldown,
+        )
+        return x86, ixp, queue, policy
+
+    def test_trigger_fires_above_threshold(self):
+        sim = Simulator()
+        x86, ixp, queue, policy = self._build(sim, threshold=1000)
+        queue.bytes_queued = 2000  # direct occupancy injection
+        sim.run(until=ms(5))
+        assert policy.triggers_sent >= 1
+        assert x86.vm("dom1").vcpus[0].boosted
+
+    def test_no_trigger_below_threshold(self):
+        sim = Simulator()
+        x86, ixp, queue, policy = self._build(sim, threshold=10_000)
+        queue.bytes_queued = 500
+        sim.run(until=ms(5))
+        assert policy.triggers_sent == 0
+
+    def test_cooldown_rate_limits(self):
+        sim = Simulator()
+        x86, ixp, queue, policy = self._build(sim, threshold=100, cooldown=ms(50))
+        queue.bytes_queued = 10_000
+        sim.run(until=ms(49))
+        assert policy.triggers_sent == 1
+        sim.run(until=ms(120))
+        assert policy.triggers_sent >= 2
+
+    def test_trigger_log_records_occupancy(self):
+        sim = Simulator()
+        x86, ixp, queue, policy = self._build(sim, threshold=100)
+        queue.bytes_queued = 4096
+        sim.run(until=ms(5))
+        time, vm, occupancy = policy.trigger_log[0]
+        assert vm == "dom1"
+        assert occupancy == 4096
+
+    def test_invalid_threshold(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            self._build(sim, threshold=0)

@@ -1,0 +1,118 @@
+"""Smoke tests for the experiment drivers (short runs).
+
+Full-length, shape-asserting reproductions live in ``benchmarks/``; here
+we verify the drivers produce complete, renderable results quickly.
+"""
+
+import pytest
+
+from repro.apps.rubis import RubisConfig
+from repro.experiments import (
+    render_figure2,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_qos_ladder,
+    run_rubis_pair,
+)
+from repro.experiments.mplayer import QoSLadderResult, TriggerPairResult, TriggerRunResult
+from repro.sim import ms, seconds
+
+
+@pytest.fixture(scope="module")
+def small_pair():
+    config = RubisConfig(
+        num_sessions=16,
+        requests_per_session=6,
+        think_time_mean=ms(150),
+        warmup=seconds(2),
+    )
+    return run_rubis_pair(duration=seconds(10), config=config)
+
+
+class TestRubisDrivers:
+    def test_pair_has_both_arms(self, small_pair):
+        assert not small_pair.base.coordinated
+        assert small_pair.coord.coordinated
+        assert small_pair.coord.tunes_applied > 0
+        assert small_pair.base.tunes_applied == 0
+
+    def test_common_types_in_catalogue_order(self, small_pair):
+        names = small_pair.common_types()
+        assert len(names) >= 5
+        from repro.apps.rubis import REQUEST_TYPES
+
+        order = [rt.name for rt in REQUEST_TYPES]
+        assert names == [n for n in order if n in names]
+
+    def test_throughput_and_utilization_populated(self, small_pair):
+        for arm in (small_pair.base, small_pair.coord):
+            assert arm.throughput > 0
+            assert arm.total_utilization > 0
+            assert arm.efficiency > 0
+            assert set(arm.utilization) == {
+                "Domain-0", "web-server", "app-server", "db-server"
+            }
+
+    def test_renderers_produce_rows_for_each_type(self, small_pair):
+        table1 = render_table1(small_pair)
+        for name in small_pair.common_types():
+            assert name in table1
+        assert "Base(ms)" in table1
+
+    def test_table2_contains_all_metrics(self, small_pair):
+        table2 = render_table2(small_pair)
+        for label in ("Throughput", "Sessions completed", "Avg session time",
+                      "Platform efficiency"):
+            assert label in table2
+
+    def test_figures_render(self, small_pair):
+        assert "Figure 2" in render_figure2(small_pair)
+        assert "Figure 4" in render_figure4(small_pair)
+        assert "Figure 5" in render_figure5(small_pair)
+
+
+class TestMPlayerRenderers:
+    def test_figure6_from_synthetic_result(self):
+        result = QoSLadderResult(
+            stage_a=(17.0, 18.5),
+            stage_b=(20.1, 25.2),
+            stage_c=(20.0, 25.5),
+            weights={"mplayer-1": 384, "mplayer-2": 640},
+            ixp_threads={"mplayer-1": 2, "mplayer-2": 6},
+        )
+        out = render_figure6(result)
+        assert "256-256" in out and "384-512" in out and "384-640" in out
+        assert "17.0" in out and "25.5" in out
+
+    def test_figure7_and_table3_from_synthetic_result(self):
+        def arm(trigger, fps1, fps2):
+            return TriggerRunResult(
+                buffer_trigger=trigger,
+                dom1_fps=fps1,
+                dom2_fps=fps2,
+                triggers_sent=100 if trigger else 0,
+                dom1_cpu_series=[(i, 50.0 + (i % 3)) for i in range(60)],
+                buffer_series=[(i, (i % 10) * 50_000) for i in range(60)],
+                buffer_high_watermark=600 * 1024,
+            )
+
+        pair = TriggerPairResult(base=arm(False, 24.0, 80.0), coord=arm(True, 26.6, 75.0))
+        table3 = render_table3(pair)
+        assert "+10.83%" in table3 or "+10.8" in table3  # 24 -> 26.6
+        assert "-6.25%" in table3
+        fig7 = render_figure7(pair)
+        assert "Figure 7" in fig7
+        assert "triggers sent: 100" in fig7
+
+    def test_pair_percent_helpers(self):
+        pair = TriggerPairResult(
+            base=TriggerRunResult(False, 24.0, 80.0, 0, [], [], 0),
+            coord=TriggerRunResult(True, 26.4, 75.2, 9, [], [], 0),
+        )
+        assert pair.dom1_change_percent == pytest.approx(10.0)
+        assert pair.dom2_change_percent == pytest.approx(-6.0)

@@ -1,0 +1,66 @@
+"""Smoke tests for the extension experiment drivers (short runs)."""
+
+import pytest
+
+from repro.experiments.power import render_power_cap, run_power_cap_arm, PowerCapResult
+from repro.experiments.scalability import (
+    render_scalability,
+    run_scalability_arm,
+)
+from repro.sim import seconds
+
+
+class TestPowerCapDriver:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_power_cap_arm("turbo")
+
+    def test_uncapped_arm_runs_at_nominal_speed(self):
+        arm = run_power_cap_arm("none", duration=seconds(12))
+        assert arm.final_speed == 1.0
+        assert arm.throughput > 0
+        assert arm.mean_power_w > 20  # static floor + load
+
+    def test_local_arm_throttles(self):
+        arm = run_power_cap_arm("local", cap_w=44.0, duration=seconds(12))
+        assert arm.final_speed < 1.0
+        assert arm.mean_power_w < 44.0
+
+    def test_renderer_contains_all_arms(self):
+        arms = {
+            mode: run_power_cap_arm(mode, duration=seconds(6))
+            for mode in ("none", "local")
+        }
+        arms["coord"] = run_power_cap_arm("coord", duration=seconds(6))
+        table = render_power_cap(PowerCapResult(cap_w=48.0, arms=arms))
+        for mode in ("none", "local", "coord"):
+            assert mode in table
+
+
+class TestScalabilityDriver:
+    def test_unknown_arm_rejected(self):
+        with pytest.raises(ValueError):
+            run_scalability_arm("federated", 2)
+
+    def test_none_arm_has_no_messages(self):
+        result = run_scalability_arm("none", 2, duration=seconds(5))
+        assert result.total_messages == 0
+        assert result.mean_probe_latency_ms >= 0
+
+    def test_centralized_arm_concentrates_at_hub(self):
+        result = run_scalability_arm("centralized", 3, duration=seconds(6))
+        assert result.hub_messages > 0
+        assert result.hub_messages == result.max_cell_messages
+
+    def test_distributed_arm_spreads_messages(self):
+        result = run_scalability_arm("distributed", 4, duration=seconds(6))
+        assert result.max_cell_messages > 0
+        assert result.max_cell_messages < result.total_messages
+
+    def test_renderer(self):
+        results = {
+            ("none", 2): run_scalability_arm("none", 2, duration=seconds(4)),
+            ("distributed", 2): run_scalability_arm("distributed", 2, duration=seconds(4)),
+        }
+        table = render_scalability(results)
+        assert "distributed" in table and "none" in table

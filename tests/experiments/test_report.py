@@ -1,0 +1,82 @@
+"""Tests for the ASCII renderers and experiment result helpers."""
+
+import pytest
+
+from repro.experiments import (
+    percent_change,
+    render_bars,
+    render_minmax,
+    render_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_header_and_rows(self):
+        out = render_table(["a", "bb"], [("1", "2"), ("333", "4")], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "333" in lines[4]
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [("short",), ("a-much-longer-cell",)])
+        lines = out.splitlines()
+        rule = lines[1]
+        assert len(rule) == len("a-much-longer-cell")
+
+    def test_non_string_cells(self):
+        out = render_table(["n"], [(42,), (3.5,)])
+        assert "42" in out and "3.5" in out
+
+
+class TestRenderBars:
+    def test_scaling(self):
+        out = render_bars([("a", 50.0), ("b", 100.0)], width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_empty(self):
+        assert render_bars([], title="nothing") == "nothing"
+
+    def test_explicit_maximum(self):
+        out = render_bars([("a", 50.0)], width=10, maximum=100.0)
+        assert out.count("#") == 5
+
+
+class TestRenderMinMax:
+    def test_span_positions(self):
+        out = render_minmax([("x", 10.0, 100.0)], width=20)
+        assert "min=10" in out and "max=100" in out
+        assert "=" in out
+
+    def test_multiple_rows_aligned(self):
+        out = render_minmax([("short", 1, 2), ("much-longer-label", 1, 2)])
+        lines = [l for l in out.splitlines() if "min=" in l]
+        assert len(lines) == 2
+
+
+class TestRenderSeries:
+    def test_contains_extremes(self):
+        points = [(i, float(i % 7)) for i in range(100)]
+        out = render_series(points, title="wave")
+        assert "wave" in out
+        assert "*" in out
+
+    def test_flat_series(self):
+        out = render_series([(0, 5.0), (1, 5.0)])
+        assert "*" in out
+
+    def test_empty_series(self):
+        assert render_series([], title="t") == "t"
+
+
+class TestPercentChange:
+    def test_signs(self):
+        assert percent_change(100, 150) == 50
+        assert percent_change(100, 75) == -25
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            percent_change(0, 10)

@@ -1,0 +1,163 @@
+"""Tests for the GPU island: device runlist, contexts, coordination."""
+
+import pytest
+
+from repro.coordination import CoordinationAgent, GpuCoschedulePolicy
+from repro.gpu import GPUIsland, GpuDevice, LAUNCH_OVERHEAD
+from repro.interconnect import CoordinationChannel
+from repro.platform import EntityId
+from repro.sim import Simulator, ms, seconds, us
+from repro.x86 import X86Island, X86Params
+
+
+class TestGpuDevice:
+    def test_kernel_executes_with_overhead(self):
+        sim = Simulator()
+        device = GpuDevice(sim)
+        context = device.create_context("vm")
+        finished = []
+        done = context.launch(ms(5))
+        done.callbacks.append(lambda ev: finished.append(sim.now))
+        sim.run(until=seconds(1))
+        assert finished == [ms(5) + LAUNCH_OVERHEAD]
+        assert context.kernels_completed == 1
+
+    def test_kernels_serialize_per_device(self):
+        sim = Simulator()
+        device = GpuDevice(sim)
+        context = device.create_context("vm")
+        first = context.launch(ms(5))
+        second = context.launch(ms(5))
+        finish = []
+        second.callbacks.append(lambda ev: finish.append(sim.now))
+        sim.run(until=seconds(1))
+        assert finish[0] == 2 * (ms(5) + LAUNCH_OVERHEAD)
+
+    def test_invalid_demand_rejected(self):
+        sim = Simulator()
+        device = GpuDevice(sim)
+        device.create_context("vm")
+        with pytest.raises(ValueError):
+            device.submit("vm", 0)
+
+    def test_duplicate_context_rejected(self):
+        device = GpuDevice(Simulator())
+        device.create_context("vm")
+        with pytest.raises(ValueError):
+            device.create_context("vm")
+
+    def test_weighted_runlist_shares(self):
+        sim = Simulator()
+        device = GpuDevice(sim)
+        light = device.create_context("light", weight=100)
+        heavy = device.create_context("heavy", weight=300)
+
+        def feeder(sim, context):
+            while True:
+                yield context.launch(ms(2))
+
+        for _ in range(3):
+            sim.spawn(feeder(sim, light))
+            sim.spawn(feeder(sim, heavy))
+        sim.run(until=seconds(4))
+        assert heavy.kernels_completed > light.kernels_completed * 2
+
+    def test_device_utilization(self):
+        sim = Simulator()
+        device = GpuDevice(sim)
+        context = device.create_context("vm")
+        context.launch(ms(100))
+        sim.run(until=seconds(1))
+        assert device.utilization(seconds(1)) == pytest.approx(0.1, rel=0.01)
+
+    def test_prioritize_jumps_runlist(self):
+        sim = Simulator()
+        device = GpuDevice(sim)
+        busy = device.create_context("busy")
+        urgent = device.create_context("urgent")
+
+        def feeder(sim):
+            while True:
+                yield busy.launch(ms(3))
+
+        for _ in range(4):
+            sim.spawn(feeder(sim))
+        sim.run(until=ms(10))  # runlist saturated by `busy`
+        finish = []
+        done = urgent.launch(ms(1))
+        done.callbacks.append(lambda ev: finish.append(sim.now))
+        device.prioritize("urgent")
+        sim.run(until=seconds(1))
+        # Served right after the in-flight kernel (<= one kernel + own).
+        assert finish[0] - ms(10) < ms(3) + ms(1) + 3 * LAUNCH_OVERHEAD
+
+
+class TestGPUIsland:
+    def _pair(self):
+        sim = Simulator()
+        x86 = X86Island(sim, X86Params(num_cpus=1))
+        gpu = GPUIsland(sim)
+        channel = CoordinationChannel(sim, latency=us(100), a_name="gpu", b_name="x86")
+        gpu_agent = CoordinationAgent(sim, gpu, channel.endpoint("gpu"))
+        x86_agent = CoordinationAgent(sim, x86, channel.endpoint("x86"),
+                                      handler_vm=x86.dom0)
+        return sim, x86, gpu, gpu_agent, x86_agent
+
+    def test_tune_adjusts_context_weight(self):
+        sim, x86, gpu, gpu_agent, x86_agent = self._pair()
+        context = gpu.create_context("vm")
+        gpu.apply_tune(EntityId("gpu", "vm"), +50)
+        assert context.weight == 150
+
+    def test_x86_can_tune_gpu_over_channel(self):
+        sim, x86, gpu, gpu_agent, x86_agent = self._pair()
+        context = gpu.create_context("vm")
+        x86_agent.send_tune(EntityId("gpu", "vm"), +25)
+        sim.run(until=ms(5))
+        assert context.weight == 125
+
+    def test_trigger_translates_to_runlist_jump(self):
+        sim, x86, gpu, gpu_agent, x86_agent = self._pair()
+        context = gpu.create_context("vm")
+        gpu.apply_trigger(EntityId("gpu", "vm"))
+        assert context._deficit > 0
+
+    def test_hybrid_pipeline_end_to_end(self):
+        """CPU phase -> kernel -> CPU phase across both islands."""
+        sim, x86, gpu, gpu_agent, x86_agent = self._pair()
+        vm = x86.create_vm("hybrid")
+        context = gpu.create_context("hybrid")
+        iterations = []
+
+        def app(sim):
+            for _ in range(5):
+                yield vm.execute(ms(2), "user")
+                done = context.launch(ms(4))
+                yield from vm.io_wait(done)
+                yield vm.execute(ms(2), "user")
+                iterations.append(sim.now)
+
+        sim.spawn(app(sim))
+        sim.run(until=seconds(1))
+        assert len(iterations) == 5
+        assert vm.accounting.iowait > 4 * ms(4)  # waited on the GPU
+
+    def test_coschedule_policy_triggers_on_completion(self):
+        sim, x86, gpu, gpu_agent, x86_agent = self._pair()
+        vm = x86.create_vm("hybrid")
+        context = gpu.create_context("hybrid")
+        policy = GpuCoschedulePolicy(
+            sim, gpu, gpu_agent, {"hybrid": EntityId("x86", "hybrid")}
+        )
+        context.launch(ms(3))
+        sim.run(until=ms(20))
+        assert policy.triggers_sent == 1
+        assert x86_agent.triggers_applied == 1
+
+    def test_policy_ignores_unmapped_contexts(self):
+        sim, x86, gpu, gpu_agent, x86_agent = self._pair()
+        context = gpu.create_context("stranger")
+        policy = GpuCoschedulePolicy(sim, gpu, gpu_agent, {})
+        context.launch(ms(1))
+        sim.run(until=ms(20))
+        assert policy.triggers_sent == 0

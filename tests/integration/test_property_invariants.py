@@ -1,0 +1,158 @@
+"""Property-based invariants of the schedulers and queue accounting.
+
+These drive the substrates with randomized configurations and assert the
+conservation laws that must hold for *any* input: work conservation,
+accounting consistency, byte conservation, and completion.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ixp import BufferPool, FlowQueue
+from repro.net import Packet
+from repro.sim import Simulator, ms, seconds
+from repro.x86 import CreditScheduler, VirtualMachine
+from repro.x86.diskio import WeightedIOScheduler
+
+SIM_DURATION = seconds(2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(min_value=32, max_value=1024), min_size=1, max_size=5),
+    st.integers(min_value=1, max_value=3),
+)
+def test_property_credit_scheduler_work_conservation(weights, num_cpus):
+    """With enough hogs, no core is ever idle and all time is accounted."""
+    sim = Simulator()
+    scheduler = CreditScheduler(sim, num_cpus=num_cpus)
+    vms = []
+    for index, weight in enumerate(weights):
+        vm = VirtualMachine(sim, f"vm{index}", weight=weight)
+        scheduler.add_domain(vm)
+        vms.append(vm)
+
+        def hog(sim, vm=vm):
+            while True:
+                yield vm.execute(ms(4))
+
+        sim.spawn(hog(sim))
+    sim.run(until=SIM_DURATION)
+
+    total = sum(vm.cpu_time() for vm in vms)
+    capacity = num_cpus * SIM_DURATION
+    demand_bound = len(vms) * SIM_DURATION  # single-VCPU VMs
+    expected = min(capacity, demand_bound)
+    assert total >= expected * 0.97
+    assert total <= capacity + ms(1)
+    # Per-VM time can never exceed wall time (one VCPU each).
+    for vm in vms:
+        assert 0 <= vm.cpu_time() <= SIM_DURATION + ms(1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(min_value=64, max_value=1024), min_size=2, max_size=4),
+)
+def test_property_credit_scheduler_weight_monotonicity(weights):
+    """Under saturation, a strictly heavier domain never gets much less."""
+    sim = Simulator()
+    scheduler = CreditScheduler(sim, num_cpus=1)
+    vms = []
+    for index, weight in enumerate(weights):
+        vm = VirtualMachine(sim, f"vm{index}", weight=weight)
+        scheduler.add_domain(vm)
+        vms.append(vm)
+
+        def hog(sim, vm=vm):
+            while True:
+                yield vm.execute(ms(4))
+
+        sim.spawn(hog(sim))
+    sim.run(until=seconds(4))
+
+    ranked = sorted(vms, key=lambda vm: vm.weight)
+    for lighter, heavier in zip(ranked, ranked[1:]):
+        if heavier.weight > lighter.weight * 1.5:
+            assert heavier.cpu_time() >= lighter.cpu_time() * 0.9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=100_000, max_value=5_000_000),  # demand ns
+            st.integers(min_value=0, max_value=5_000_000),  # gap ns
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_guest_accounting_matches_vcpu_runtime(pattern):
+    """Guest busy time equals the VCPU runtime, for any burst pattern."""
+    sim = Simulator()
+    scheduler = CreditScheduler(sim, num_cpus=1)
+    vm = VirtualMachine(sim, "vm")
+    scheduler.add_domain(vm)
+
+    def workload(sim):
+        for demand, gap in pattern:
+            yield vm.execute(demand)
+            if gap:
+                yield sim.timeout(gap)
+
+    sim.spawn(workload(sim))
+    sim.run(until=seconds(5))
+    assert vm.accounting.busy == sum(v.runtime for v in vm.vcpus)
+    assert vm.accounting.busy == sum(demand for demand, _ in pattern)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=100, max_value=4000), min_size=1, max_size=40),
+)
+def test_property_flow_queue_byte_conservation(sizes):
+    """Queue byte accounting and pool usage track contents exactly."""
+    sim = Simulator()
+    pool = BufferPool(sim, capacity_bytes=10_000_000)
+    queue = FlowQueue(sim, "q", pool, capacity_bytes=10_000_000)
+    for size in sizes:
+        assert queue.enqueue(Packet(src="a", dst="b", size=size))
+    assert queue.occupancy_bytes == sum(sizes) == pool.in_use
+
+    drained = 0
+    for expected_remaining in range(len(sizes) - 1, -1, -1):
+        get = queue.get()
+        sim.run()
+        drained += get.value.size
+        assert queue.occupancy_bytes == sum(sizes) - drained
+        assert pool.in_use == queue.occupancy_bytes
+        assert len(queue) == expected_remaining
+    assert pool.in_use == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),  # queue index
+            st.integers(min_value=10_000, max_value=500_000),  # bytes
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+    st.integers(min_value=50, max_value=400),  # weight of queue 1
+)
+def test_property_io_scheduler_completes_everything(requests, weight_b):
+    """Every submitted request completes, regardless of weights/sizes."""
+    sim = Simulator()
+    scheduler = WeightedIOScheduler(sim)
+    scheduler.register_vm("a", weight=100)
+    scheduler.register_vm("b", weight=weight_b)
+    events = [
+        scheduler.submit("a" if which == 0 else "b", size)
+        for which, size in requests
+    ]
+    sim.run(until=seconds(60))
+    assert all(event.processed for event in events)
+    assert scheduler.requests_served == len(requests)
+    assert all(len(q) == 0 for q in scheduler.queues.values())

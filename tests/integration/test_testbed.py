@@ -1,0 +1,118 @@
+"""Integration tests: the full two-island platform end to end."""
+
+import pytest
+
+from repro import Testbed, TestbedConfig
+from repro.net import Packet
+from repro.platform import EntityId
+from repro.sim import ms, seconds, us
+
+
+def echo_vm(testbed, vm, nic):
+    """A guest that echoes every request back to its source."""
+
+    def loop(sim):
+        while True:
+            packet = yield nic.recv()
+            yield vm.execute(ms(1), "user")
+            nic.send(
+                Packet(src=vm.name, dst=packet.src, size=600, kind="resp",
+                       payload={"echo_of": packet.pid})
+            )
+
+    return testbed.sim.spawn(loop(testbed.sim))
+
+
+class TestDataPath:
+    def test_wire_to_vm_and_back(self):
+        testbed = Testbed(TestbedConfig())
+        vm, nic = testbed.create_guest_vm("server")
+        client = testbed.add_client_host("client")
+        echo_vm(testbed, vm, nic)
+        request = Packet(src="client", dst="server", size=400, kind="req")
+        client.nic.send(request)
+        testbed.run(seconds(1))
+        received = client.nic.rx_queue.try_get()
+        assert received is not None
+        assert received.payload["echo_of"] == request.pid
+
+    def test_every_stage_stamped(self):
+        testbed = Testbed(TestbedConfig())
+        vm, nic = testbed.create_guest_vm("server")
+        client = testbed.add_client_host("client")
+        request = Packet(src="client", dst="server", size=400, kind="req")
+        client.nic.send(request)
+        testbed.run(seconds(1))
+        stamps = request.stamps
+        for stage in ("ixp-rx", "pci-dma", "vif-rx", "bridge", "server.rx"):
+            assert stage in stamps, f"missing stage {stage}"
+        # Monotonic pipeline traversal.
+        assert (
+            stamps["ixp-rx"] <= stamps["pci-dma"] <= stamps["vif-rx"]
+            <= stamps["bridge"] <= stamps["server.rx"]
+        )
+
+    def test_inter_vm_traffic_stays_on_bridge(self):
+        testbed = Testbed(TestbedConfig())
+        vm_a, nic_a = testbed.create_guest_vm("vm-a")
+        vm_b, nic_b = testbed.create_guest_vm("vm-b")
+        echo_vm(testbed, vm_b, nic_b)
+        nic_a.send(Packet(src="vm-a", dst="vm-b", size=100, kind="req"))
+        testbed.run(seconds(1))
+        assert nic_a.rx_count == 1
+        assert testbed.ixp.rx.processed == 0  # never left the host
+
+    def test_client_to_client_never_reaches_bridge(self):
+        testbed = Testbed(TestbedConfig())
+        testbed.create_guest_vm("unused")
+        client_a = testbed.add_client_host("client-a")
+        testbed.add_client_host("client-b")
+        client_a.nic.send(Packet(src="client-a", dst="client-b", size=100))
+        testbed.run(seconds(1))
+        assert testbed.bridge.relayed == 0
+
+
+class TestCoordinationPath:
+    def test_tune_round_trip(self):
+        testbed = Testbed(TestbedConfig())
+        vm, _nic = testbed.create_guest_vm("guest")
+        testbed.ixp_agent.send_tune(testbed.vm_entity("guest"), +128)
+        testbed.run(ms(50))
+        assert vm.weight == 384
+        assert testbed.x86_agent.tunes_applied == 1
+
+    def test_trigger_round_trip(self):
+        testbed = Testbed(TestbedConfig())
+        vm, _nic = testbed.create_guest_vm("guest")
+        testbed.ixp_agent.send_trigger(testbed.vm_entity("guest"))
+        testbed.run(ms(50))
+        assert vm.vcpus[0].boosted
+
+    def test_channel_latency_respected(self):
+        config = TestbedConfig(channel_latency=ms(2))
+        testbed = Testbed(config)
+        vm, _nic = testbed.create_guest_vm("guest")
+        testbed.ixp_agent.send_tune(testbed.vm_entity("guest"), +64)
+        testbed.run(ms(1))
+        assert vm.weight == 256
+        testbed.run(ms(10))
+        assert vm.weight == 320
+
+    def test_controller_knows_both_islands_and_entities(self):
+        testbed = Testbed(TestbedConfig())
+        testbed.create_guest_vm("guest")
+        assert testbed.controller.island("x86") is testbed.x86
+        assert testbed.controller.island("ixp") is testbed.ixp
+        assert testbed.controller.owner_of(EntityId("x86", "guest")) is testbed.x86
+        assert testbed.controller.owner_of(EntityId("ixp", "guest")) is testbed.ixp
+
+    def test_vm_without_ixp_has_no_flow_queue(self):
+        testbed = Testbed(TestbedConfig())
+        testbed.create_guest_vm("local-only", uses_ixp=False)
+        assert "local-only" not in testbed.ixp.flow_queues
+
+    def test_duplicate_client_rejected(self):
+        testbed = Testbed(TestbedConfig())
+        testbed.add_client_host("client")
+        with pytest.raises(ValueError):
+            testbed.add_client_host("client")

@@ -1,0 +1,214 @@
+"""Tests for PCIe, message rings, the messaging driver and the channel."""
+
+import pytest
+
+from repro.interconnect import (
+    CoordinationChannel,
+    MessageRing,
+    MessagingDriver,
+    PCIeBus,
+)
+from repro.net import Packet
+from repro.sim import Simulator, ms, seconds, us
+from repro.x86 import CreditScheduler, VirtualMachine
+
+
+class TestPCIe:
+    def test_transfer_time(self):
+        sim = Simulator()
+        bus = PCIeBus(sim, bandwidth_bytes_per_ns=1.0, latency=us(2))
+        assert bus.transfer_time(1000) == us(2) + 1000
+
+    def test_dma_serializes(self):
+        sim = Simulator()
+        bus = PCIeBus(sim, bandwidth_bytes_per_ns=1.0, latency=0)
+        finish_times = []
+
+        def transfer(sim, size):
+            yield from bus.dma(size)
+            finish_times.append(sim.now)
+
+        sim.spawn(transfer(sim, 1000))
+        sim.spawn(transfer(sim, 1000))
+        sim.run()
+        assert finish_times == [1000, 2000]
+        assert bus.transfers == 2
+        assert bus.bytes_moved == 2000
+
+    def test_rejects_bad_sizes(self):
+        sim = Simulator()
+        bus = PCIeBus(sim)
+
+        def bad(sim):
+            yield from bus.dma(0)
+
+        proc = sim.spawn(bad(sim))
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestMessageRing:
+    def test_push_pop(self):
+        sim = Simulator()
+        ring = MessageRing(sim, "ring", capacity=4)
+        packet = Packet(src="a", dst="b", size=10)
+        assert ring.push(packet)
+        assert ring.pop() is packet
+        assert ring.pop() is None
+
+    def test_capacity_rejection(self):
+        sim = Simulator()
+        ring = MessageRing(sim, "ring", capacity=2)
+        for _ in range(2):
+            assert ring.push(Packet(src="a", dst="b", size=10))
+        assert not ring.push(Packet(src="a", dst="b", size=10))
+        assert ring.full_rejections == 1
+
+    def test_first_descriptor_notification(self):
+        sim = Simulator()
+        ring = MessageRing(sim, "ring")
+        pokes = []
+        ring.on_first_descriptor = lambda: pokes.append(sim.now)
+        ring.push(Packet(src="a", dst="b", size=10))
+        ring.push(Packet(src="a", dst="b", size=10))  # not empty: no poke
+        assert pokes == [0]
+        ring.pop()
+        ring.pop()
+        ring.push(Packet(src="a", dst="b", size=10))  # empty again: poke
+        assert len(pokes) == 2
+
+    def test_blocking_get(self):
+        sim = Simulator()
+        ring = MessageRing(sim, "ring")
+        get = ring.get()
+        packet = Packet(src="a", dst="b", size=10)
+        ring.push(packet)
+        sim.run()
+        assert get.value is packet
+
+
+class TestMessagingDriver:
+    def _make(self, **kwargs):
+        sim = Simulator()
+        scheduler = CreditScheduler(sim, num_cpus=1)
+        dom0 = VirtualMachine(sim, "dom0")
+        scheduler.add_domain(dom0)
+        rx_ring = MessageRing(sim, "rx")
+        tx_ring = MessageRing(sim, "tx", capacity=kwargs.pop("tx_capacity", 1024))
+        driver = MessagingDriver(sim, dom0, rx_ring, tx_ring, **kwargs)
+        return sim, dom0, rx_ring, tx_ring, driver
+
+    def test_interrupt_mode_delivers(self):
+        sim, dom0, rx_ring, tx_ring, driver = self._make(interrupt_delay=us(50))
+        delivered = []
+        driver.connect_stack(delivered.append)
+        rx_ring.push(Packet(src="a", dst="b", size=100))
+        sim.run(until=ms(5))
+        assert len(delivered) == 1
+        assert driver.rx_delivered == 1
+        assert dom0.cpu_time() > 0
+
+    def test_interrupt_moderation_delay(self):
+        sim, dom0, rx_ring, tx_ring, driver = self._make(interrupt_delay=us(200))
+        delivered = []
+        driver.connect_stack(lambda p: delivered.append(sim.now))
+        rx_ring.push(Packet(src="a", dst="b", size=100))
+        sim.run(until=ms(5))
+        assert delivered[0] >= us(200)
+
+    def test_batch_drains_multiple(self):
+        sim, dom0, rx_ring, tx_ring, driver = self._make()
+        delivered = []
+        driver.connect_stack(delivered.append)
+        for _ in range(10):
+            rx_ring.push(Packet(src="a", dst="b", size=100))
+        sim.run(until=ms(10))
+        assert len(delivered) == 10
+        assert len(rx_ring) == 0
+
+    def test_polling_mode(self):
+        sim, dom0, rx_ring, tx_ring, driver = self._make(poll_period=ms(1))
+        delivered = []
+        driver.connect_stack(lambda p: delivered.append(sim.now))
+        rx_ring.push(Packet(src="a", dst="b", size=100))
+        sim.run(until=ms(10))
+        assert len(delivered) == 1
+        assert delivered[0] >= ms(1)
+
+    def test_transmit_posts_to_tx_ring(self):
+        sim, dom0, rx_ring, tx_ring, driver = self._make()
+        driver.transmit(Packet(src="b", dst="a", size=100))
+        sim.run(until=ms(5))
+        assert len(tx_ring) == 1
+        assert driver.tx_posted == 1
+
+    def test_transmit_drop_when_ring_full(self):
+        sim, dom0, rx_ring, tx_ring, driver = self._make(tx_capacity=1)
+        driver.transmit(Packet(src="b", dst="a", size=100))
+        driver.transmit(Packet(src="b", dst="a", size=100))
+        sim.run(until=ms(5))
+        assert driver.tx_dropped == 1
+
+    def test_poll_burn_consumes_dom0(self):
+        sim, dom0, rx_ring, tx_ring, driver = self._make(poll_burn_duty=0.5)
+        sim.run(until=seconds(1))
+        utilization = dom0.cpu_time() / seconds(1)
+        assert 0.4 < utilization < 0.6
+
+    def test_invalid_poll_burn_duty(self):
+        with pytest.raises(ValueError):
+            self._make(poll_burn_duty=1.5)
+
+
+class TestCoordinationChannel:
+    def test_latency_applied(self):
+        sim = Simulator()
+        channel = CoordinationChannel(sim, latency=us(150))
+        received = []
+        channel.endpoint("x86").set_receiver(lambda m: received.append((sim.now, m)))
+        channel.endpoint("ixp").send("hello")
+        sim.run()
+        assert received == [(us(150), "hello")]
+
+    def test_bidirectional(self):
+        sim = Simulator()
+        channel = CoordinationChannel(sim, latency=us(10))
+        got = {}
+        channel.endpoint("x86").set_receiver(lambda m: got.setdefault("x86", m))
+        channel.endpoint("ixp").set_receiver(lambda m: got.setdefault("ixp", m))
+        channel.endpoint("ixp").send("to-x86")
+        channel.endpoint("x86").send("to-ixp")
+        sim.run()
+        assert got == {"x86": "to-x86", "ixp": "to-ixp"}
+
+    def test_counters(self):
+        sim = Simulator()
+        channel = CoordinationChannel(sim, latency=0)
+        channel.endpoint("x86").set_receiver(lambda m: None)
+        channel.endpoint("ixp").send("one")
+        channel.endpoint("ixp").send("two")
+        sim.run()
+        assert channel.endpoint("ixp").sent == 2
+        assert channel.endpoint("x86").received == 2
+
+    def test_unknown_endpoint_rejected(self):
+        channel = CoordinationChannel(Simulator())
+        with pytest.raises(KeyError):
+            channel.endpoint("gpu")
+
+    def test_receive_without_handler_raises(self):
+        sim = Simulator()
+        channel = CoordinationChannel(sim, latency=0)
+        channel.endpoint("ixp").send("orphan")
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_message_ordering_preserved(self):
+        sim = Simulator()
+        channel = CoordinationChannel(sim, latency=us(100))
+        received = []
+        channel.endpoint("x86").set_receiver(received.append)
+        for i in range(5):
+            channel.endpoint("ixp").send(i)
+        sim.run()
+        assert received == [0, 1, 2, 3, 4]

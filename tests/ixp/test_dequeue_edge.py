@@ -1,0 +1,86 @@
+"""Edge cases of the weighted dequeue engine's thread apportionment."""
+
+import pytest
+
+from repro.interconnect import MessageRing, PCIeBus
+from repro.ixp import IXPIsland, IXPParams
+from repro.net import Packet
+from repro.platform import EntityId
+from repro.sim import Simulator, ms
+
+
+def build(num_threads=8):
+    sim = Simulator()
+    island = IXPIsland(sim, IXPParams(dequeue_threads=num_threads))
+    pcie = PCIeBus(sim)
+    rx_ring = MessageRing(sim, "rx")
+    tx_ring = MessageRing(sim, "tx")
+    island.attach_host(pcie, rx_ring, tx_ring)
+    return sim, island, rx_ring
+
+
+class TestApportionment:
+    def test_single_queue_gets_all_threads(self):
+        sim, island, _ = build()
+        queue = island.register_vm_flow("only")
+        assert island.dequeuer.threads_for(queue) == 8
+
+    def test_equal_weights_split_evenly(self):
+        sim, island, _ = build()
+        queues = [island.register_vm_flow(f"vm{i}") for i in range(4)]
+        for queue in queues:
+            assert island.dequeuer.threads_for(queue) == 2
+
+    def test_weighted_split_follows_weights(self):
+        sim, island, _ = build()
+        light = island.register_vm_flow("light", service_weight=1)
+        heavy = island.register_vm_flow("heavy", service_weight=3)
+        assert island.dequeuer.threads_for(heavy) == 6
+        assert island.dequeuer.threads_for(light) == 2
+
+    def test_every_queue_keeps_at_least_one_thread(self):
+        sim, island, _ = build()
+        starved = island.register_vm_flow("starved", service_weight=1)
+        island.register_vm_flow("greedy", service_weight=100)
+        assert island.dequeuer.threads_for(starved) >= 1
+
+    def test_more_queues_than_threads(self):
+        sim, island, _ = build(num_threads=2)
+        queues = [island.register_vm_flow(f"vm{i}", service_weight=i + 1) for i in range(4)]
+        total = sum(island.dequeuer.threads_for(q) for q in queues)
+        assert total == 2
+        # The heaviest queues win the scarce threads.
+        assert island.dequeuer.threads_for(queues[-1]) >= 1
+
+    def test_rebalance_on_tune_moves_threads(self):
+        sim, island, _ = build()
+        queue_a = island.register_vm_flow("a")
+        queue_b = island.register_vm_flow("b")
+        before = island.dequeuer.threads_for(queue_a)
+        island.apply_tune(EntityId("ixp", "a"), +7)
+        assert island.dequeuer.threads_for(queue_a) > before
+        total = island.dequeuer.threads_for(queue_a) + island.dequeuer.threads_for(queue_b)
+        assert total == 8
+
+
+class TestServiceContinuity:
+    def test_no_packet_lost_across_rebalance(self):
+        """Reassigning threads mid-flow must not drop queued packets."""
+        sim, island, rx_ring = build()
+        queue_a = island.register_vm_flow("a")
+        island.register_vm_flow("b")
+        for i in range(50):
+            queue_a.enqueue(Packet(src="c", dst="a", size=500))
+        sim.run(until=ms(1))
+        island.apply_tune(EntityId("ixp", "b"), +5)  # shuffles assignments
+        sim.run(until=ms(50))
+        assert rx_ring.pushed == 50
+        assert queue_a.dequeued == 50
+
+    def test_parked_threads_resume_when_queue_added(self):
+        sim, island, rx_ring = build()
+        sim.run(until=ms(1))  # all threads parked: no queues yet
+        queue = island.register_vm_flow("late")
+        queue.enqueue(Packet(src="c", dst="late", size=500))
+        sim.run(until=ms(10))
+        assert queue.dequeued == 1

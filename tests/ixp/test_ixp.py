@@ -1,0 +1,302 @@
+"""Tests for the IXP island: memory, microengines, queues, pipelines."""
+
+import pytest
+
+from repro.ixp import (
+    BufferPool,
+    Classifier,
+    FlowQueue,
+    IXPIsland,
+    IXPParams,
+    MemoryHierarchy,
+    Microengine,
+    classify_by_destination,
+    cycles,
+    make_payload_field_rule,
+)
+from repro.interconnect import MessageRing, PCIeBus
+from repro.net import Packet
+from repro.platform import EntityId
+from repro.sim import Simulator, ms, us
+
+
+class TestMemory:
+    def test_latency_ordering(self):
+        memory = MemoryHierarchy()
+        lat = memory.latencies
+        assert lat.local < lat.scratch < lat.sram < lat.dram
+
+    def test_access_counting(self):
+        memory = MemoryHierarchy()
+        memory.latency("dram")
+        memory.latency("dram")
+        memory.latency("sram")
+        assert memory.accesses["dram"] == 2
+        assert memory.accesses["sram"] == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy().latency("l4")
+
+    def test_cycles_conversion(self):
+        assert cycles(1400) == 1000  # 1400 cycles at 1.4 GHz = 1 us
+
+
+class TestBufferPool:
+    def test_allocate_and_free(self):
+        pool = BufferPool(Simulator(), capacity_bytes=1000)
+        assert pool.allocate(600)
+        assert pool.in_use == 600
+        assert pool.available == 400
+        pool.free(600)
+        assert pool.in_use == 0
+
+    def test_allocation_failure_when_full(self):
+        pool = BufferPool(Simulator(), capacity_bytes=100)
+        assert pool.allocate(100)
+        assert not pool.allocate(1)
+        assert pool.allocation_failures == 1
+
+    def test_high_watermark(self):
+        pool = BufferPool(Simulator(), capacity_bytes=1000)
+        pool.allocate(700)
+        pool.free(500)
+        pool.allocate(100)
+        assert pool.high_watermark == 700
+
+    def test_over_free_rejected(self):
+        pool = BufferPool(Simulator(), capacity_bytes=100)
+        pool.allocate(10)
+        with pytest.raises(ValueError):
+            pool.free(50)
+
+
+class TestMicroengine:
+    def test_thread_allocation_limit(self):
+        sim = Simulator()
+        me = Microengine(sim, 0, MemoryHierarchy(), num_threads=2)
+        me.allocate_thread("rx")
+        me.allocate_thread("rx")
+        assert me.threads_free == 0
+        with pytest.raises(RuntimeError):
+            me.allocate_thread("rx")
+
+    def test_compute_is_exclusive_per_me(self):
+        """Two threads' compute serialises on the single-issue pipeline."""
+        sim = Simulator()
+        me = Microengine(sim, 0, MemoryHierarchy())
+        t1, t2 = me.allocate_thread("a"), me.allocate_thread("b")
+        finish = []
+
+        def image(sim, thread):
+            yield from thread.compute(1400)  # 1 us
+            finish.append((thread.name, sim.now))
+
+        sim.spawn(image(sim, t1))
+        sim.spawn(image(sim, t2))
+        sim.run()
+        assert finish[0][1] == us(1)
+        assert finish[1][1] == us(2)
+
+    def test_memory_references_overlap(self):
+        """Memory waits release the pipeline (latency hiding)."""
+        sim = Simulator()
+        me = Microengine(sim, 0, MemoryHierarchy())
+        t1, t2 = me.allocate_thread("a"), me.allocate_thread("b")
+        finish = []
+
+        def image(sim, thread):
+            yield from thread.compute(140)  # 100 ns
+            yield from thread.mem("dram")
+            finish.append(sim.now)
+
+        sim.spawn(image(sim, t1))
+        sim.spawn(image(sim, t2))
+        sim.run()
+        dram = MemoryHierarchy().latencies.dram
+        # Thread 2 computes while thread 1 waits on DRAM: total well under
+        # the fully-serial 2*(100+dram).
+        assert finish[-1] < 2 * (100 + dram)
+
+    def test_busy_time_accounting(self):
+        sim = Simulator()
+        me = Microengine(sim, 0, MemoryHierarchy())
+        thread = me.allocate_thread("t")
+
+        def image(sim, thread):
+            yield from thread.compute(1400)
+
+        sim.spawn(image(sim, thread))
+        sim.run()
+        assert me.busy_time == us(1)
+        assert me.utilization(us(2)) == 0.5
+
+
+class TestFlowQueue:
+    def _queue(self, capacity=10_000):
+        sim = Simulator()
+        pool = BufferPool(sim, capacity_bytes=100_000)
+        return sim, FlowQueue(sim, "q", pool, capacity_bytes=capacity)
+
+    def test_enqueue_dequeue_accounting(self):
+        sim, queue = self._queue()
+        packet = Packet(src="a", dst="b", size=500)
+        assert queue.enqueue(packet)
+        assert queue.occupancy_bytes == 500
+        get = queue.get()
+        sim.run()
+        assert get.value is packet
+        assert queue.occupancy_bytes == 0
+        assert queue.pool.in_use == 0
+
+    def test_tail_drop_on_capacity(self):
+        sim, queue = self._queue(capacity=1000)
+        assert queue.enqueue(Packet(src="a", dst="b", size=800))
+        assert not queue.enqueue(Packet(src="a", dst="b", size=300))
+        assert queue.dropped == 1
+
+    def test_drop_on_pool_exhaustion(self):
+        sim = Simulator()
+        pool = BufferPool(sim, capacity_bytes=500)
+        queue = FlowQueue(sim, "q", pool, capacity_bytes=10_000)
+        assert queue.enqueue(Packet(src="a", dst="b", size=400))
+        assert not queue.enqueue(Packet(src="a", dst="b", size=200))
+
+    def test_high_watermark(self):
+        sim, queue = self._queue()
+        queue.enqueue(Packet(src="a", dst="b", size=700))
+        get = queue.get()
+        sim.run()
+        queue.enqueue(Packet(src="a", dst="b", size=100))
+        assert queue.bytes_high_watermark == 700
+
+
+class TestClassifier:
+    def test_rule_chain_first_match_wins(self):
+        classifier = Classifier()
+        classifier.add_rule("never", lambda p: None)
+        classifier.add_rule("by-dst", classify_by_destination)
+        packet = Packet(src="a", dst="vm1", size=10)
+        assert classifier.classify(packet) == "vm1"
+        assert packet.flow == "vm1"
+
+    def test_default_flow(self):
+        classifier = Classifier(default_flow="misc")
+        assert classifier.classify(Packet(src="a", dst="b", size=10)) == "misc"
+
+    def test_payload_field_rule(self):
+        rule = make_payload_field_rule("request_type", prefix="rubis:")
+        packet = Packet(src="a", dst="b", size=10, payload={"request_type": "Browse"})
+        assert rule(packet) == "rubis:Browse"
+        assert rule(Packet(src="a", dst="b", size=10)) is None
+
+    def test_statistics(self):
+        classifier = Classifier()
+        classifier.add_rule("by-dst", classify_by_destination)
+        for _ in range(3):
+            classifier.classify(Packet(src="a", dst="vm1", size=10))
+        classifier.classify(Packet(src="a", dst="vm2", size=10))
+        assert classifier.classified == 4
+        assert classifier.by_flow == {"vm1": 3, "vm2": 1}
+
+
+def build_island(sim, **param_overrides):
+    island = IXPIsland(sim, IXPParams(**param_overrides))
+    pcie = PCIeBus(sim)
+    rx_ring = MessageRing(sim, "rx")
+    tx_ring = MessageRing(sim, "tx")
+    island.attach_host(pcie, rx_ring, tx_ring)
+    return island, rx_ring, tx_ring
+
+
+class TestIXPIsland:
+    def test_rx_path_classifies_and_ships_to_host(self):
+        sim = Simulator()
+        island, rx_ring, tx_ring = build_island(sim)
+        island.classifier.add_rule("by-dst", classify_by_destination)
+        island.register_vm_flow("vm1")
+        island.wire_sink()(Packet(src="client", dst="vm1", size=800))
+        sim.run(until=ms(5))
+        assert island.rx.processed == 1
+        assert len(rx_ring) == 1
+        assert rx_ring.pop().flow == "vm1"
+
+    def test_unroutable_packet_counted(self):
+        sim = Simulator()
+        island, rx_ring, tx_ring = build_island(sim)
+        island.wire_sink()(Packet(src="client", dst="ghost-vm", size=800))
+        sim.run(until=ms(5))
+        assert island.rx.unroutable == 1
+        assert len(rx_ring) == 0
+
+    def test_classified_hook_invoked(self):
+        sim = Simulator()
+        island, rx_ring, tx_ring = build_island(sim)
+        island.classifier.add_rule("by-dst", classify_by_destination)
+        island.register_vm_flow("vm1")
+        seen = []
+        island.add_classified_hook(lambda p, flow: seen.append(flow))
+        island.wire_sink()(Packet(src="client", dst="vm1", size=100))
+        sim.run(until=ms(5))
+        assert seen == ["vm1"]
+
+    def test_tx_path_routes_to_wire(self):
+        sim = Simulator()
+        island, rx_ring, tx_ring = build_island(sim)
+        from repro.net import Link
+
+        received = []
+        link = Link(sim, "to-client", latency=0)
+        link.connect(received.append)
+        island.connect_peer("client", link)
+        tx_ring.push(Packet(src="vm1", dst="client", size=900))
+        sim.run(until=ms(5))
+        assert len(received) == 1
+        assert island.tx.transmitted == 1
+
+    def test_apply_tune_rebalances_threads(self):
+        sim = Simulator()
+        island, rx_ring, tx_ring = build_island(sim)
+        queue_a = island.register_vm_flow("vm-a")
+        queue_b = island.register_vm_flow("vm-b")
+        sim.run(until=ms(1))
+        assert island.dequeuer.threads_for(queue_a) == 4
+        island.apply_tune(EntityId("ixp", "vm-b"), +3)
+        assert queue_b.service_weight == 4
+        assert island.dequeuer.threads_for(queue_b) > island.dequeuer.threads_for(queue_a)
+
+    def test_apply_trigger_transient_weight(self):
+        sim = Simulator()
+        island, rx_ring, tx_ring = build_island(sim)
+        queue = island.register_vm_flow("vm-a")
+        original = queue.service_weight
+        island.apply_trigger(EntityId("ixp", "vm-a"))
+        assert queue.service_weight > original
+        sim.run(until=island.params.monitor_period * 5)
+        assert queue.service_weight == original
+
+    def test_duplicate_vm_flow_rejected(self):
+        sim = Simulator()
+        island, *_ = build_island(sim)
+        island.register_vm_flow("vm1")
+        with pytest.raises(ValueError):
+            island.register_vm_flow("vm1")
+
+    def test_dequeue_respects_poll_interval(self):
+        sim = Simulator()
+        island, rx_ring, _ = build_island(sim, dequeue_threads=1)
+        queue = island.register_vm_flow("vm1")
+        queue.poll_interval = ms(10)
+        for _ in range(5):
+            queue.enqueue(Packet(src="c", dst="vm1", size=100))
+        sim.run(until=ms(25))
+        # One thread, 10 ms pause per packet: at most ~3 shipped by 25 ms.
+        assert 1 <= len(rx_ring) <= 3
+
+    def test_xscale_periodic_task(self):
+        sim = Simulator()
+        island, *_ = build_island(sim)
+        ticks = []
+        island.xscale.every(ms(10), lambda: ticks.append(sim.now))
+        sim.run(until=ms(55))
+        assert len(ticks) == 5

@@ -1,0 +1,74 @@
+"""Tests for the per-stage latency breakdown tool."""
+
+import pytest
+
+from repro.metrics import LatencyBreakdown
+from repro.net import Packet
+
+
+def stamped_packet(times):
+    packet = Packet(src="a", dst="b", size=100)
+    for stage, time in times.items():
+        packet.stamp(stage, time)
+    return packet
+
+
+class TestLatencyBreakdown:
+    def test_needs_two_stages(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown(stages=("only",))
+
+    def test_single_packet_hops(self):
+        breakdown = LatencyBreakdown(stages=("a", "b", "c"))
+        assert breakdown.observe(stamped_packet({"a": 0, "b": 100, "c": 350}))
+        hops = breakdown.hops()
+        assert hops[0].stats.mean == 100
+        assert hops[1].stats.mean == 250
+        assert breakdown.total_mean() == 350
+
+    def test_incomplete_packet_skipped(self):
+        breakdown = LatencyBreakdown(stages=("a", "b"))
+        assert not breakdown.observe(stamped_packet({"a": 0}))
+        assert breakdown.packets_skipped == 1
+        assert breakdown.packets_observed == 0
+
+    def test_dominant_hop(self):
+        breakdown = LatencyBreakdown(stages=("a", "b", "c"))
+        breakdown.observe(stamped_packet({"a": 0, "b": 10, "c": 500}))
+        assert breakdown.dominant_hop().label == "b -> c"
+
+    def test_dominant_hop_requires_observations(self):
+        with pytest.raises(ValueError):
+            LatencyBreakdown(stages=("a", "b")).dominant_hop()
+
+    def test_report_mentions_every_hop(self):
+        breakdown = LatencyBreakdown(stages=("a", "b", "c"))
+        breakdown.observe(stamped_packet({"a": 0, "b": 1000, "c": 3000}))
+        report = breakdown.report()
+        assert "a -> b" in report and "b -> c" in report and "total" in report
+
+    def test_aggregates_many_packets(self):
+        breakdown = LatencyBreakdown(stages=("a", "b"))
+        for delay in (100, 200, 300):
+            breakdown.observe(stamped_packet({"a": 0, "b": delay}))
+        assert breakdown.packets_observed == 3
+        assert breakdown.hops()[0].stats.mean == 200
+        assert breakdown.hops()[0].stats.maximum == 300
+
+    def test_on_real_testbed_path(self):
+        """Stamps collected by the real pipeline feed the breakdown."""
+        from repro import Testbed, TestbedConfig
+        from repro.sim import seconds
+
+        testbed = Testbed(TestbedConfig())
+        testbed.create_guest_vm("server")
+        client = testbed.add_client_host("client")
+        packets = [Packet(src="client", dst="server", size=300) for _ in range(5)]
+        for packet in packets:
+            client.nic.send(packet)
+        testbed.run(seconds(1))
+        breakdown = LatencyBreakdown()
+        for packet in packets:
+            assert breakdown.observe(packet)
+        assert breakdown.total_mean() > 0
+        assert breakdown.packets_observed == 5

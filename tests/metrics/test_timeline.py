@@ -1,0 +1,121 @@
+"""Tests for the scheduling-timeline (Gantt) tool."""
+
+import pytest
+
+from repro.metrics.timeline import SchedulingTimeline
+from repro.sim import Simulator, Tracer, ms, seconds
+from repro.x86 import CreditScheduler, VirtualMachine
+
+
+def build(num_cpus=1):
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    scheduler = CreditScheduler(sim, num_cpus=num_cpus, tracer=tracer)
+    timeline = SchedulingTimeline(sim, tracer)
+    return sim, scheduler, timeline
+
+
+class TestIntervalCollection:
+    def test_single_burst_recorded(self):
+        sim, scheduler, timeline = build()
+        vm = VirtualMachine(sim, "vm")
+        scheduler.add_domain(vm)
+        vm.execute(ms(5))
+        sim.run(until=ms(20))
+        timeline.close()
+        assert timeline.busy_time("vm") == ms(5)
+        assert len(timeline.intervals) == 1
+
+    def test_busy_time_matches_scheduler_accounting(self):
+        sim, scheduler, timeline = build()
+        a, b = VirtualMachine(sim, "a"), VirtualMachine(sim, "b")
+        scheduler.add_domain(a)
+        scheduler.add_domain(b)
+
+        def hog(sim, vm):
+            while True:
+                yield vm.execute(ms(4))
+
+        sim.spawn(hog(sim, a))
+        sim.spawn(hog(sim, b))
+        sim.run(until=seconds(1))
+        timeline.close()
+        assert timeline.busy_time("a") == a.cpu_time()
+        assert timeline.busy_time("b") == b.cpu_time()
+
+    def test_window_query_clips_intervals(self):
+        sim, scheduler, timeline = build()
+        vm = VirtualMachine(sim, "vm")
+        scheduler.add_domain(vm)
+        vm.execute(ms(10))
+        sim.run(until=ms(20))
+        timeline.close()
+        assert timeline.busy_time("vm", start=ms(2), end=ms(4)) == ms(2)
+
+    def test_longest_gap(self):
+        sim, scheduler, timeline = build()
+        vm = VirtualMachine(sim, "vm")
+        scheduler.add_domain(vm)
+
+        def bursty(sim):
+            yield vm.execute(ms(2))
+            yield sim.timeout(ms(50))
+            yield vm.execute(ms(2))
+
+        sim.spawn(bursty(sim))
+        sim.run(until=ms(60))
+        timeline.close()
+        assert timeline.longest_gap("vm") == pytest.approx(ms(50), rel=0.05)
+
+    def test_untracked_vm_gap_is_whole_run(self):
+        sim, scheduler, timeline = build()
+        sim.run(until=ms(30))
+        assert timeline.longest_gap("ghost") == ms(30)
+
+
+class TestGantt:
+    def test_render_contains_legend_and_rows(self):
+        sim, scheduler, timeline = build(num_cpus=2)
+        a, b = VirtualMachine(sim, "alpha"), VirtualMachine(sim, "beta")
+        scheduler.add_domain(a)
+        scheduler.add_domain(b)
+
+        def hog(sim, vm):
+            while True:
+                yield vm.execute(ms(4))
+
+        sim.spawn(hog(sim, a))
+        sim.spawn(hog(sim, b))
+        sim.run(until=ms(100))
+        timeline.close()
+        chart = timeline.render_gantt(0, ms(100), width=40)
+        assert "A=alpha" in chart and "B=beta" in chart
+        assert "cpu0 |" in chart and "cpu1 |" in chart
+        assert "A" in chart.splitlines()[1] or "A" in chart.splitlines()[2]
+
+    def test_idle_renders_as_dots(self):
+        sim, scheduler, timeline = build()
+        vm = VirtualMachine(sim, "vm")
+        scheduler.add_domain(vm)
+        vm.execute(ms(1))
+        sim.run(until=ms(100))
+        timeline.close()
+        chart = timeline.render_gantt(0, ms(100), width=50)
+        assert "." in chart
+
+    def test_invalid_window_rejected(self):
+        sim, scheduler, timeline = build()
+        with pytest.raises(ValueError):
+            timeline.render_gantt(ms(10), ms(10))
+
+    def test_disabled_tracer_collects_nothing(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=False)
+        scheduler = CreditScheduler(sim, num_cpus=1, tracer=tracer)
+        timeline = SchedulingTimeline(sim, tracer)
+        vm = VirtualMachine(sim, "vm")
+        scheduler.add_domain(vm)
+        vm.execute(ms(5))
+        sim.run(until=ms(20))
+        timeline.close()
+        assert timeline.intervals == []

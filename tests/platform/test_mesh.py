@@ -1,0 +1,118 @@
+"""Tests for the multi-island coordination mesh."""
+
+import pytest
+
+from repro.platform import EntityId
+from repro.platform.mesh import CoordinationMesh
+from repro.sim import Simulator, ms, us
+from repro.x86 import X86Island, X86Params
+
+
+def build_mesh(sim, count, latency=us(100)):
+    mesh = CoordinationMesh(sim, latency=latency)
+    islands = []
+    for i in range(count):
+        island = X86Island(sim, X86Params(num_cpus=1), name=f"cell-{i}")
+        mesh.add_island(island, handler_vm=island.dom0)
+        islands.append(island)
+    return mesh, islands
+
+
+class TestTopology:
+    def test_star_links_every_island_to_hub(self):
+        sim = Simulator()
+        mesh, islands = build_mesh(sim, 4)
+        mesh.connect_star("cell-0")
+        assert sorted(mesh.neighbors("cell-0")) == ["cell-1", "cell-2", "cell-3"]
+        assert mesh.neighbors("cell-2") == ["cell-0"]
+
+    def test_ring_gives_each_two_neighbors(self):
+        sim = Simulator()
+        mesh, islands = build_mesh(sim, 4)
+        mesh.connect_ring()
+        for i in range(4):
+            assert len(mesh.neighbors(f"cell-{i}")) == 2
+
+    def test_two_island_ring_is_single_link(self):
+        sim = Simulator()
+        mesh, islands = build_mesh(sim, 2)
+        mesh.connect_ring()
+        assert mesh.neighbors("cell-0") == ["cell-1"]
+
+    def test_ring_needs_two_islands(self):
+        sim = Simulator()
+        mesh, _ = build_mesh(sim, 1)
+        with pytest.raises(ValueError):
+            mesh.connect_ring()
+
+    def test_self_link_rejected(self):
+        sim = Simulator()
+        mesh, _ = build_mesh(sim, 2)
+        with pytest.raises(ValueError):
+            mesh.connect("cell-0", "cell-0")
+
+    def test_duplicate_link_rejected(self):
+        sim = Simulator()
+        mesh, _ = build_mesh(sim, 2)
+        mesh.connect("cell-0", "cell-1")
+        with pytest.raises(ValueError):
+            mesh.connect("cell-0", "cell-1")
+
+    def test_duplicate_island_rejected(self):
+        sim = Simulator()
+        mesh, islands = build_mesh(sim, 1)
+        with pytest.raises(ValueError):
+            mesh.add_island(islands[0])
+
+
+class TestCrossIslandCoordination:
+    def test_tune_travels_between_islands(self):
+        sim = Simulator()
+        mesh, islands = build_mesh(sim, 3)
+        mesh.connect_star("cell-0")
+        target = islands[2].create_vm("victim")
+        mesh.agent("cell-0", "cell-2").send_tune(EntityId("cell-2", "victim"), +64)
+        sim.run(until=ms(50))
+        assert target.weight == 320
+
+    def test_trigger_travels_between_islands(self):
+        sim = Simulator()
+        mesh, islands = build_mesh(sim, 2)
+        mesh.connect_ring()
+        target = islands[1].create_vm("victim")
+        mesh.agent("cell-0", "cell-1").send_trigger(EntityId("cell-1", "victim"))
+        sim.run(until=ms(50))
+        assert target.vcpus[0].boosted
+
+    def test_links_are_independent(self):
+        """A tune on one spoke is applied at that spoke only."""
+        sim = Simulator()
+        mesh, islands = build_mesh(sim, 3)
+        mesh.connect_star("cell-0")
+        vm1 = islands[1].create_vm("guest")
+        vm2 = islands[2].create_vm("guest")
+        mesh.agent("cell-0", "cell-1").send_tune(EntityId("cell-1", "guest"), +64)
+        sim.run(until=ms(50))
+        assert vm1.weight == 320
+        assert vm2.weight == 256
+
+    def test_messages_handled_accounting(self):
+        sim = Simulator()
+        mesh, islands = build_mesh(sim, 2)
+        mesh.connect_ring()
+        islands[1].create_vm("guest")
+        for _ in range(3):
+            mesh.agent("cell-0", "cell-1").send_tune(EntityId("cell-1", "guest"), +8)
+        sim.run(until=ms(50))
+        assert mesh.messages_handled_at("cell-1") == 3
+        assert mesh.messages_handled_at("cell-0") == 0
+
+    def test_handling_charged_to_cell_dom0(self):
+        sim = Simulator()
+        mesh, islands = build_mesh(sim, 2)
+        mesh.connect_ring()
+        islands[1].create_vm("guest")
+        before = islands[1].dom0.cpu_time()
+        mesh.agent("cell-0", "cell-1").send_tune(EntityId("cell-1", "guest"), +8)
+        sim.run(until=ms(50))
+        assert islands[1].dom0.cpu_time() > before

@@ -1,0 +1,119 @@
+"""Tests for counted resources."""
+
+import pytest
+
+from repro.sim import Resource, Simulator
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_grant_up_to_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    first, second, third = resource.request(), resource.request(), resource.request()
+    sim.run()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert resource.in_use == 2
+    assert resource.queue_length == 1
+
+
+def test_release_grants_next_waiter():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    first = resource.request()
+    second = resource.request()
+    sim.run()
+    resource.release(first)
+    sim.run()
+    assert second.triggered
+    assert resource.in_use == 1
+
+
+def test_release_unowned_rejected():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    stranger = resource.request()
+    sim.run()
+    other = Resource(sim, capacity=1)
+    with pytest.raises(ValueError):
+        other.release(stranger)
+
+
+def test_fifo_grant_order():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, name):
+        request = resource.request()
+        yield request
+        order.append(name)
+        yield sim.timeout(10)
+        resource.release(request)
+
+    for name in ("a", "b", "c"):
+        sim.spawn(worker(sim, name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_context_manager_releases():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def worker(sim):
+        request = resource.request()
+        yield request
+        with request:
+            yield sim.timeout(5)
+        return resource.in_use
+
+    proc = sim.spawn(worker(sim))
+    sim.run()
+    assert proc.value == 0
+
+
+def test_cancel_pending_request():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    holder = resource.request()
+    waiter = resource.request()
+    sim.run()
+    waiter.cancel()
+    resource.release(holder)
+    sim.run()
+    assert not waiter.triggered
+    assert resource.in_use == 0
+
+
+def test_cancel_granted_request_is_noop():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    granted = resource.request()
+    sim.run()
+    granted.cancel()  # no exception, still held
+    assert resource.in_use == 1
+
+
+def test_mutual_exclusion_invariant():
+    """No more than `capacity` holders at any instant."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=3)
+    high_watermark = []
+
+    def worker(sim, hold):
+        request = resource.request()
+        yield request
+        high_watermark.append(resource.in_use)
+        yield sim.timeout(hold)
+        resource.release(request)
+
+    for i in range(10):
+        sim.spawn(worker(sim, hold=7 + i))
+    sim.run()
+    assert max(high_watermark) <= 3
+    assert resource.in_use == 0

@@ -1,0 +1,148 @@
+"""Tests for working sets, paging pressure and the balloon driver."""
+
+import pytest
+
+from repro.platform import EntityId
+from repro.sim import Simulator, ms, seconds
+from repro.x86 import X86Island
+from repro.x86.memory import BalloonDriver, MemoryBalancerPolicy, PagingModel
+
+
+class TestPagingModel:
+    def test_no_pressure_when_allocation_covers_working_set(self):
+        model = PagingModel()
+        assert model.factor(256, 256) == 1.0
+        assert model.factor(256, 512) == 1.0
+
+    def test_linear_inflation_with_deficit(self):
+        model = PagingModel(slope=4.0)
+        assert model.factor(256, 128) == pytest.approx(3.0)  # 50% deficit
+
+    def test_capped_at_max_factor(self):
+        model = PagingModel(slope=10.0, max_factor=6.0)
+        assert model.factor(1000, 1) == 6.0
+        assert model.factor(1000, 0) == 6.0
+
+    def test_zero_working_set_is_free(self):
+        assert PagingModel().factor(0, 0) == 1.0
+
+
+def build_host(total_mb=1024):
+    sim = Simulator()
+    island = X86Island(sim)
+    driver = BalloonDriver(sim, total_mb=total_mb)
+    island.attach_balloon(driver)
+    return sim, island, driver
+
+
+class TestBalloonDriver:
+    def test_manage_and_adjust(self):
+        sim, island, driver = build_host()
+        vm = island.create_vm("guest")  # 256 MB default
+        island.balloon_manage(vm)
+        assert driver.adjust("guest", +128) == 384
+        assert vm.memory_mb == 384
+
+    def test_growth_limited_by_free_memory(self):
+        sim, island, driver = build_host(total_mb=512)
+        vm_a = island.create_vm("a")
+        vm_b = island.create_vm("b")
+        island.balloon_manage(vm_a)
+        island.balloon_manage(vm_b)
+        assert driver.free_mb == 0
+        assert driver.adjust("a", +100) == 256  # nothing free
+
+    def test_shrink_floor(self):
+        sim, island, driver = build_host()
+        vm = island.create_vm("guest")
+        island.balloon_manage(vm)
+        assert driver.adjust("guest", -10_000) == driver.min_allocation_mb
+
+    def test_overcommitted_start_rejected(self):
+        sim, island, driver = build_host(total_mb=300)
+        vm_a = island.create_vm("a")
+        vm_b = island.create_vm("b")
+        island.balloon_manage(vm_a)
+        with pytest.raises(ValueError):
+            island.balloon_manage(vm_b)
+
+    def test_duplicate_manage_rejected(self):
+        sim, island, driver = build_host()
+        vm = island.create_vm("guest")
+        island.balloon_manage(vm)
+        with pytest.raises(ValueError):
+            driver.manage(vm)
+
+    def test_pressure_inflates_cpu_demands(self):
+        sim, island, driver = build_host()
+        vm = island.create_vm("guest")
+        island.balloon_manage(vm, working_set_mb=512)  # 2x the allocation
+        done = vm.execute(ms(10))
+        sim.run(until=seconds(1))
+        assert done.processed
+        # factor = 1 + 4 * 0.5 = 3 -> 30 ms of CPU
+        assert vm.cpu_time() == pytest.approx(ms(30), rel=0.01)
+
+    def test_tune_targets_balloon(self):
+        sim, island, driver = build_host()
+        vm = island.create_vm("guest")
+        island.balloon_manage(vm)
+        island.apply_tune(EntityId("x86", "mem:guest"), +64)
+        assert vm.memory_mb == 320
+
+    def test_manage_requires_attached_driver(self):
+        sim = Simulator()
+        island = X86Island(sim)
+        vm = island.create_vm("guest")
+        with pytest.raises(RuntimeError):
+            island.balloon_manage(vm)
+
+
+class TestMemoryBalancer:
+    def test_moves_memory_to_the_thrashing_domain(self):
+        sim, island, driver = build_host(total_mb=512)
+        comfortable = island.create_vm("comfortable")
+        thrashing = island.create_vm("thrashing")
+        island.balloon_manage(comfortable, working_set_mb=64)
+        island.balloon_manage(thrashing, working_set_mb=512)
+        policy = MemoryBalancerPolicy(sim, driver, period=ms(100))
+        sim.run(until=seconds(2))
+        assert policy.moves > 0
+        assert thrashing.memory_mb > 256
+        assert comfortable.memory_mb < 256
+        assert driver.pressure("thrashing") < PagingModel().factor(512, 256)
+
+    def test_no_moves_when_balanced(self):
+        sim, island, driver = build_host()
+        vm_a = island.create_vm("a")
+        vm_b = island.create_vm("b")
+        island.balloon_manage(vm_a)
+        island.balloon_manage(vm_b)
+        policy = MemoryBalancerPolicy(sim, driver, period=ms(100))
+        sim.run(until=seconds(1))
+        assert policy.moves == 0
+
+    def test_coordinated_balancing_improves_throughput(self):
+        """The end-to-end claim: balancing completes more memory-bound
+        work than a static split."""
+
+        def run(balanced):
+            sim, island, driver = build_host(total_mb=512)
+            worker = island.create_vm("worker")
+            idleish = island.create_vm("idleish")
+            island.balloon_manage(worker, working_set_mb=448)
+            island.balloon_manage(idleish, working_set_mb=64)
+            if balanced:
+                MemoryBalancerPolicy(sim, driver, period=ms(100))
+            completed = {"count": 0}
+
+            def loop(sim):
+                while True:
+                    yield worker.execute(ms(5))
+                    completed["count"] += 1
+
+            sim.spawn(loop(sim))
+            sim.run(until=seconds(5))
+            return completed["count"]
+
+        assert run(True) > run(False) * 1.3

