@@ -1,7 +1,12 @@
 """The coordination layer: standard Tune/Trigger mechanisms, channel agents
 and the paper's three coordination policies."""
 
-from .agent import MESSAGE_HANDLING_COST, CoordinationAgent
+from .agent import (
+    MESSAGE_HANDLING_COST,
+    CoordinationAgent,
+    tune_coalesce_key,
+    tune_coalesce_merge,
+)
 from .buffer_monitor import DEFAULT_THRESHOLD_BYTES, BufferMonitorTriggerPolicy
 from .coschedule import GpuCoschedulePolicy
 from .messages import CoordinationMessage, RegisterMessage, TriggerMessage, TuneMessage
@@ -35,4 +40,6 @@ __all__ = [
     "TierEntities",
     "TriggerMessage",
     "TuneMessage",
+    "tune_coalesce_key",
+    "tune_coalesce_merge",
 ]

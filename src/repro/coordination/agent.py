@@ -23,6 +23,32 @@ from .messages import RegisterMessage, TriggerMessage, TuneMessage
 MESSAGE_HANDLING_COST = us(15)
 
 
+def tune_coalesce_key(message):
+    """Coalesce key for the reliable layer: Tunes merge per target entity;
+    everything else (Triggers, Registers, custom messages) never merges."""
+    if isinstance(message, TuneMessage):
+        return ("tune", message.entity)
+    return None
+
+
+def tune_coalesce_merge(pending: TuneMessage, new: TuneMessage):
+    """Merge two pending Tunes for one entity into a single frame.
+
+    Deltas add (they are relative adjustments), the earliest send timestamp
+    is kept so apply-latency accounting reflects the oldest queued intent,
+    and a zero combined delta cancels the pending frame outright.
+    """
+    delta = pending.delta + new.delta
+    if delta == 0:
+        return None
+    return TuneMessage(
+        entity=pending.entity,
+        delta=delta,
+        reason=new.reason or pending.reason,
+        sent_at=pending.sent_at if pending.sent_at >= 0 else new.sent_at,
+    )
+
+
 class CoordinationAgent:
     """Applies coordination messages arriving at one island."""
 
@@ -46,9 +72,15 @@ class CoordinationAgent:
         self.handler_vm = handler_vm
         self.handling_cost = handling_cost
         self.tracer = tracer or Tracer(sim, enabled=False)
-        #: End-to-end latencies (send -> applied) of timestamped messages.
+        #: End-to-end latencies (send -> applied) of timestamped messages
+        #: that were actually applied — unknown-entity messages are excluded
+        #: so this measures successful coordination, not channel traffic.
         self.apply_latencies: list[int] = []
         endpoint.set_receiver(self._on_message)
+        # A reliable endpoint accepts coalescing hooks: merge bursty Tunes
+        # for one entity into a single pending frame while an ack is due.
+        if hasattr(endpoint, "set_coalescer"):
+            endpoint.set_coalescer(tune_coalesce_key, tune_coalesce_merge)
         self.tunes_applied = 0
         self.triggers_applied = 0
         self.unknown_entities = 0
@@ -91,9 +123,6 @@ class CoordinationAgent:
         self._apply(message)
 
     def _apply(self, message) -> None:
-        sent_at = getattr(message, "sent_at", -1)
-        if sent_at >= 0:
-            self.apply_latencies.append(self.sim.now - sent_at)
         if isinstance(message, TuneMessage):
             if not self.island.has_entity(message.entity):
                 self.unknown_entities += 1
@@ -101,6 +130,7 @@ class CoordinationAgent:
                 return
             self.island.apply_tune(message.entity, message.delta)
             self.tunes_applied += 1
+            self._record_apply_latency(message)
         elif isinstance(message, TriggerMessage):
             if not self.island.has_entity(message.entity):
                 self.unknown_entities += 1
@@ -108,6 +138,7 @@ class CoordinationAgent:
                 return
             self.island.apply_trigger(message.entity)
             self.triggers_applied += 1
+            self._record_apply_latency(message)
         elif isinstance(message, RegisterMessage):
             # Registration bookkeeping is handled by the global controller;
             # islands just learn that the entity exists remotely.
@@ -118,3 +149,16 @@ class CoordinationAgent:
                 raise TypeError(f"unknown coordination message {message!r}")
             for handler in handlers:
                 handler(message)
+            self._record_apply_latency(message)
+
+    def _record_apply_latency(self, message) -> None:
+        """Account end-to-end latency for a message that took effect."""
+        sent_at = getattr(message, "sent_at", -1)
+        if sent_at >= 0:
+            self.apply_latencies.append(self.sim.now - sent_at)
+
+    def channel_stats(self) -> dict[str, int]:
+        """Reliability counters of this agent's endpoint (empty when the
+        agent rides the raw, unacknowledged mailbox)."""
+        stats = getattr(self.endpoint, "stats", None)
+        return stats() if callable(stats) else {}

@@ -165,3 +165,9 @@ class StreamQoSTunePolicy:
         self.tracer.emit(
             "mplayer-policy", "actuated", vm=vm_name, stage=self.stage, target=target
         )
+
+    def channel_stats(self) -> dict[str, int]:
+        """Reliability counters of the sending endpoint (empty over the
+        raw mailbox); stage re-actuations for the same VM coalesce while
+        an earlier Tune is still awaiting its ack."""
+        return self.agent.channel_stats()

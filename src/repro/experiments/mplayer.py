@@ -39,17 +39,25 @@ class QoSLadderResult:
     ixp_threads: dict[str, int]
 
 
-def run_qos_ladder(seed: int = 1, config: Optional[MPlayerConfig] = None) -> QoSLadderResult:
+def run_qos_ladder(
+    seed: int = 1,
+    config: Optional[MPlayerConfig] = None,
+    reliable: Optional[bool] = None,
+) -> QoSLadderResult:
     """Figure 6: one evolving run, escalating the stream-QoS policy.
 
     Mirrors the paper's narrative: start both guests at default weights,
     then raise weights on high-bit-rate detection, then reward Domain-2's
     frame-rate requirement and add IXP dequeue threads in tandem.
+
+    ``reliable`` opts the coordination channel into the ack/retransmit
+    layer; None keeps the testbed config's (raw-mailbox) default.
     """
     base = config or MPlayerConfig()
-    deployment = deploy_mplayer(
-        replace(base, testbed=replace(base.testbed, seed=seed))
-    )
+    testbed_config = replace(base.testbed, seed=seed)
+    if reliable is not None:
+        testbed_config = replace(testbed_config, reliable=reliable)
+    deployment = deploy_mplayer(replace(base, testbed=testbed_config))
     t0 = QOS_WARMUP
     t1 = t0 + QOS_STAGE_DURATION
     deployment.run(t1)

@@ -35,6 +35,9 @@ class RubisRunResult:
     utilization: dict[str, float]
     iowait: dict[str, float] = field(default_factory=dict)
     tunes_applied: int = 0
+    #: Reliability counters of the IXP-side (sending) endpoint; empty when
+    #: the run used the raw, unacknowledged mailbox.
+    channel_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_utilization(self) -> float:
@@ -68,13 +71,22 @@ def run_rubis(
     duration: int = DEFAULT_DURATION,
     seed: int = 1,
     config: Optional[RubisConfig] = None,
+    reliable: Optional[bool] = None,
 ) -> RubisRunResult:
-    """Run one RUBiS arm and collect its metrics."""
+    """Run one RUBiS arm and collect its metrics.
+
+    ``reliable`` opts the coordination channel into the ack/retransmit
+    layer (overriding the testbed config); None keeps whatever the config
+    says — the paper's figures use the raw mailbox.
+    """
     base_config = config or RubisConfig()
+    testbed_config = replace(base_config.testbed, seed=seed)
+    if reliable is not None:
+        testbed_config = replace(testbed_config, reliable=reliable)
     run_config = replace(
         base_config,
         coordinated=coordinated,
-        testbed=replace(base_config.testbed, seed=seed),
+        testbed=testbed_config,
     )
     deployment = deploy_rubis(run_config)
     deployment.run(run_config.warmup + duration)
@@ -98,6 +110,7 @@ def run_rubis(
         utilization=utilization,
         iowait=iowait,
         tunes_applied=deployment.testbed.x86_agent.tunes_applied,
+        channel_stats=deployment.testbed.ixp_agent.channel_stats(),
     )
 
 

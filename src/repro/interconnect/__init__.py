@@ -1,7 +1,15 @@
 """Host-IXP interconnect: PCIe DMA, message rings, the Dom0 messaging
-driver, and the PCI-config-space coordination channel."""
+driver, the PCI-config-space coordination channel, and the optional
+reliable delivery layer (acks, retransmission, Tune coalescing)."""
 
 from .channel import DEFAULT_CHANNEL_LATENCY, ChannelEndpoint, CoordinationChannel
+from .reliable import (
+    AckFrame,
+    DataFrame,
+    ReliableChannel,
+    ReliableConfig,
+    ReliableEndpoint,
+)
 from .driver import (
     PER_PACKET_RX_COST,
     PER_PACKET_TX_COST,
@@ -12,8 +20,13 @@ from .msgq import MessageRing
 from .pcie import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, PCIeBus
 
 __all__ = [
+    "AckFrame",
     "ChannelEndpoint",
     "CoordinationChannel",
+    "DataFrame",
+    "ReliableChannel",
+    "ReliableConfig",
+    "ReliableEndpoint",
     "DEFAULT_BANDWIDTH",
     "DEFAULT_CHANNEL_LATENCY",
     "DEFAULT_LATENCY",

@@ -28,7 +28,12 @@ class ChannelEndpoint:
         self.name = name
         self._handler: Optional[MessageHandler] = None
         self._peer: Optional["ChannelEndpoint"] = None
+        #: Send *attempts* — incremented whether or not the message survives
+        #: the lossy mailbox. ``sent - dropped - peer.received`` is the
+        #: number of messages currently in flight.
         self.sent = 0
+        #: Attempts dropped by the lossy mailbox before delivery.
+        self.dropped = 0
         self.received = 0
 
     def set_receiver(self, handler: MessageHandler) -> None:
@@ -39,15 +44,23 @@ class ChannelEndpoint:
         """Deliver ``message`` to the peer after the channel latency.
 
         Lossy channels silently drop messages with the configured
-        probability (counted on the channel).
+        probability. ``sent`` counts *attempts*; a dropped attempt is
+        accounted on this endpoint (``dropped``), on the channel
+        (``messages_lost``) and as a distinct ``msg-dropped`` trace, so
+        ``sent - dropped - peer.received`` cleanly separates in-flight
+        messages from lost ones.
         """
         if self._peer is None:
             raise RuntimeError(f"endpoint {self.name!r} is not connected")
         self.sent += 1
         channel = self.channel
         if channel.loss_probability > 0 and channel.rng.random() < channel.loss_probability:
+            self.dropped += 1
             channel.messages_lost += 1
-            channel.tracer.emit("channel", "msg-lost", frm=self.name)
+            channel.tracer.emit(
+                "channel", "msg-dropped", frm=self.name, to=self._peer.name,
+                message=repr(message),
+            )
             return
         channel.tracer.emit(
             "channel", "msg-sent", frm=self.name, to=self._peer.name,
@@ -104,3 +117,12 @@ class CoordinationChannel:
         if name == self.b.name:
             return self.b
         raise KeyError(f"channel has endpoints {self.a.name!r}/{self.b.name!r}, not {name!r}")
+
+    def stats(self) -> dict[str, int]:
+        """Raw mailbox accounting: attempts, drops and deliveries."""
+        return {
+            "sent": self.a.sent + self.b.sent,
+            "dropped": self.a.dropped + self.b.dropped,
+            "received": self.a.received + self.b.received,
+            "raw_lost": self.messages_lost,
+        }

@@ -2,6 +2,12 @@
 and the paper's platform-efficiency metric."""
 
 from .breakdown import RX_PATH_STAGES, LatencyBreakdown, StageStats
+from .channel import (
+    CHANNEL_TRACE_KINDS,
+    RAW_DROP_KIND,
+    RELIABLE_TRACE_KINDS,
+    ChannelReliabilityCollector,
+)
 from .collector import (
     CpuUtilizationSampler,
     TimePoint,
@@ -14,7 +20,11 @@ from .timeline import RunInterval, SchedulingTimeline
 from .stats import OnlineStats, Summary, percentile, summarize
 
 __all__ = [
+    "CHANNEL_TRACE_KINDS",
+    "ChannelReliabilityCollector",
     "CpuUtilizationSampler",
+    "RAW_DROP_KIND",
+    "RELIABLE_TRACE_KINDS",
     "LatencyBreakdown",
     "RX_PATH_STAGES",
     "StageStats",

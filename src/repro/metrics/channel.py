@@ -1,0 +1,74 @@
+"""Coordination-channel reliability metrics.
+
+The reliable delivery layer (``repro.interconnect.reliable``) and the raw
+mailbox publish their accounting as trace records; this collector is the
+matching sink, turning those records into windowed time series so channel
+health (retransmission storms, dead-letter spikes, coalescing pressure)
+can be read off a run like any other throughput metric.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..sim import Simulator, Tracer, seconds
+from .collector import TimePoint, WindowedCounter
+
+#: Trace kinds emitted by the reliable layer (source ``"reliable"``).
+RELIABLE_TRACE_KINDS = (
+    "frame-sent",
+    "frame-retransmit",
+    "frame-acked",
+    "frame-dup-dropped",
+    "frame-dead-letter",
+    "frame-coalesced",
+)
+
+#: Trace kind emitted by the raw lossy mailbox (source ``"channel"``).
+RAW_DROP_KIND = "msg-dropped"
+
+#: Everything the collector subscribes to by default.
+CHANNEL_TRACE_KINDS = RELIABLE_TRACE_KINDS + (RAW_DROP_KIND,)
+
+
+class ChannelReliabilityCollector:
+    """Windowed counters over the channel-reliability trace kinds.
+
+    Requires a tracer with tracing *enabled* (the testbed's ``tracing``
+    config knob); with tracing off, no records arrive and every counter
+    stays at zero.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Tracer,
+        window: int = seconds(1),
+        kinds: Iterable[str] = CHANNEL_TRACE_KINDS,
+    ):
+        self.sim = sim
+        self.counters: dict[str, WindowedCounter] = {
+            kind: WindowedCounter(sim, window=window) for kind in kinds
+        }
+        tracer.subscribe(self._on_record, kinds=list(self.counters))
+
+    def _on_record(self, record) -> None:
+        self.counters[record.kind].record()
+
+    def total(self, kind: str) -> int:
+        """Cumulative count of one trace kind."""
+        return self.counters[kind].total
+
+    def totals(self) -> dict[str, int]:
+        """Cumulative count per subscribed kind."""
+        return {kind: counter.total for kind, counter in self.counters.items()}
+
+    def rate_per_second(
+        self, kind: str, start: Optional[int] = None, end: Optional[int] = None
+    ) -> float:
+        """Mean event rate of one kind over ``[start, end)``."""
+        return self.counters[kind].rate_per_second(start=start, end=end)
+
+    def series(self, kind: str) -> list[TimePoint]:
+        """Per-window counts of one kind, ascending by time."""
+        return self.counters[kind].series()

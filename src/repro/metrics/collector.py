@@ -95,19 +95,27 @@ class WindowedCounter:
         self.total += count
 
     def rate_per_second(self, start: Optional[int] = None, end: Optional[int] = None) -> float:
-        """Mean event rate over [start, end) (defaults to full range)."""
+        """Mean event rate over ``[start, end)`` (defaults to full range).
+
+        Counts are stored per window, so the range is clamped *outward* to
+        window-aligned boundaries: a bucket straddling ``start`` or ``end``
+        is counted in full and the clamped span is used as the divisor.
+        (Attributing a whole straddling bucket to a shorter, unaligned span
+        — the previous behaviour — over- or under-stated the rate by up to
+        one bucket's worth of events.)
+        """
         if not self._counts:
             return 0.0
-        first = min(self._counts) * self.window if start is None else start
-        last = (max(self._counts) + 1) * self.window if end is None else end
-        span = last - first
-        if span <= 0:
+        first_bucket = min(self._counts) if start is None else start // self.window
+        last_bucket = max(self._counts) + 1 if end is None else -(-end // self.window)
+        if last_bucket <= first_bucket:
             return 0.0
         counted = sum(
             c
             for bucket, c in self._counts.items()
-            if first <= bucket * self.window < last
+            if first_bucket <= bucket < last_bucket
         )
+        span = (last_bucket - first_bucket) * self.window
         return counted * NS_PER_S / span
 
     def series(self) -> list[TimePoint]:

@@ -29,6 +29,7 @@ class GlobalController:
         self.tracer = tracer or Tracer(sim, enabled=False)
         self._islands: dict[str, Island] = {}
         self._owner_of: dict[EntityId, str] = {}
+        self._channels: dict[str, object] = {}
 
     # -- island registration ----------------------------------------------
 
@@ -48,6 +49,24 @@ class GlobalController:
         self.tracer.emit(
             "controller", "entity-registered", island=island.name, entity=str(entity_id)
         )
+
+    # -- channel health ----------------------------------------------------
+
+    def register_channel(self, name: str, channel) -> None:
+        """Admit a coordination channel (raw or reliable) for platform-wide
+        health reporting. ``channel`` must expose ``stats() -> dict``."""
+        if name in self._channels:
+            raise ValueError(f"channel {name!r} already registered")
+        if not callable(getattr(channel, "stats", None)):
+            raise TypeError(f"channel {name!r} does not expose stats()")
+        self._channels[name] = channel
+        self.tracer.emit("controller", "channel-registered", channel=name)
+
+    def channel_health(self) -> dict[str, dict[str, int]]:
+        """Current counters of every registered coordination channel —
+        the platform-wide view of delivery, loss, retransmission and
+        dead-letter behaviour that scaling to many islands requires."""
+        return {name: channel.stats() for name, channel in self._channels.items()}
 
     # -- lookups ------------------------------------------------------------
 

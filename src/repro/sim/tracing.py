@@ -72,5 +72,12 @@ class TraceLog:
         """All collected records with the given kind."""
         return [r for r in self.records if r.kind == kind]
 
+    def count_by_kind(self) -> dict[str, int]:
+        """Record counts keyed by kind (handy for channel accounting)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
     def __len__(self) -> int:
         return len(self.records)

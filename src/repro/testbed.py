@@ -19,6 +19,8 @@ from .interconnect import (
     MessageRing,
     MessagingDriver,
     PCIeBus,
+    ReliableChannel,
+    ReliableConfig,
 )
 from .ixp import IXPIsland, IXPParams
 from .net import DuplexLink, VirtualNIC, XenBridge
@@ -36,6 +38,16 @@ class TestbedConfig:
     ixp: IXPParams = IXPParams()
     #: One-way latency of the PCI-config-space coordination channel.
     channel_latency: int = DEFAULT_CHANNEL_LATENCY
+    #: Drop probability of the raw coordination mailbox (failure
+    #: injection; the paper's prototype channel is unacknowledged).
+    channel_loss_probability: float = 0.0
+    #: Wrap the mailbox in the reliable delivery layer (acks, retransmit
+    #: with backoff, Tune coalescing). Off by default: the paper's figures
+    #: are measured over the raw channel.
+    reliable: bool = False
+    #: Retry budget per frame when ``reliable`` is on; exhausted frames
+    #: are dead-lettered, never raised.
+    reliable_max_retries: int = 8
     #: IXP -> host interrupt moderation delay.
     interrupt_delay: int = us(50)
     #: Fraction of one Dom0 VCPU the polling messaging driver burns
@@ -108,17 +120,34 @@ class Testbed:
         channel_latency = us(1) if self.config.hardware_coordination else (
             self.config.channel_latency
         )
+        loss = self.config.channel_loss_probability
         self.channel = CoordinationChannel(
-            self.sim, latency=channel_latency, tracer=self.tracer
+            self.sim,
+            latency=channel_latency,
+            loss_probability=loss,
+            rng=self.rng.stream("channel-loss") if loss > 0 else None,
+            tracer=self.tracer,
         )
-        self.ixp.attach_channel(self.channel.endpoint("ixp"))
+        #: The reliable wrapper, when the experiment opted in; agents and
+        #: the XScale then talk to its endpoints instead of the raw ones.
+        self.reliable_channel: Optional[ReliableChannel] = None
+        if self.config.reliable:
+            self.reliable_channel = ReliableChannel(
+                self.channel,
+                ReliableConfig(max_retries=self.config.reliable_max_retries),
+                tracer=self.tracer,
+            )
+            coord = self.reliable_channel
+        else:
+            coord = self.channel
+        self.ixp.attach_channel(coord.endpoint("ixp"))
         self.ixp_agent = CoordinationAgent(
-            self.sim, self.ixp, self.channel.endpoint("ixp"), tracer=self.tracer
+            self.sim, self.ixp, coord.endpoint("ixp"), tracer=self.tracer
         )
         self.x86_agent = CoordinationAgent(
             self.sim,
             self.x86,
-            self.channel.endpoint("x86"),
+            coord.endpoint("x86"),
             handler_vm=self.dom0,
             handling_cost=0 if self.config.hardware_coordination else MESSAGE_HANDLING_COST,
             tracer=self.tracer,
@@ -128,6 +157,7 @@ class Testbed:
         self.controller = GlobalController(self.sim, tracer=self.tracer)
         self.controller.register_island(self.x86)
         self.controller.register_island(self.ixp)
+        self.controller.register_channel("ixp-x86", coord)
 
         self._clients: dict[str, ClientHost] = {}
 

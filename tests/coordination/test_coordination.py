@@ -70,6 +70,41 @@ class TestAgent:
         sim.run(until=ms(50))
         assert x86_agent.unknown_entities == 1
 
+    def test_unknown_entity_does_not_pollute_apply_latencies(self):
+        """Regression: never-applied messages must not be counted in the
+        end-to-end apply-latency metric."""
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        x86.create_vm("guest")
+        ixp_agent.send_tune(EntityId("x86", "ghost"), +64)   # dropped
+        ixp_agent.send_tune(EntityId("x86", "guest"), +64)   # applied
+        ixp_agent.send_trigger(EntityId("x86", "ghost"))     # dropped
+        sim.run(until=ms(50))
+        assert x86_agent.unknown_entities == 2
+        assert len(x86_agent.apply_latencies) == 1
+        assert x86_agent.apply_latencies[0] > 0
+
+    def test_custom_handled_message_records_latency(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Telemetry:
+            sent_at: int = -1
+
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        seen = []
+        x86_agent.register_message_handler(Telemetry, seen.append)
+        ixp_agent.endpoint.send(Telemetry(sent_at=sim.now))
+        sim.run(until=ms(50))
+        assert len(seen) == 1
+        assert len(x86_agent.apply_latencies) == 1
+
+    def test_channel_stats_empty_over_raw_mailbox(self):
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = build_pair(sim)
+        assert ixp_agent.channel_stats() == {}
+
     def test_handling_charges_dom0(self):
         sim = Simulator()
         x86, ixp, x86_agent, ixp_agent = build_pair(sim)
@@ -303,3 +338,57 @@ class TestBufferMonitorPolicy:
         sim = Simulator()
         with pytest.raises(ValueError):
             self._build(sim, threshold=0)
+
+
+class TestAgentOverReliableChannel:
+    def _build(self, sim, loss=0.0, seed=21):
+        from repro.interconnect import ReliableChannel
+        from repro.sim import RandomStreams
+
+        x86 = X86Island(sim)
+        ixp = IXPIsland(sim)
+        raw = CoordinationChannel(
+            sim,
+            latency=us(100),
+            loss_probability=loss,
+            rng=RandomStreams(seed).stream("loss") if loss > 0 else None,
+        )
+        reliable = ReliableChannel(raw)
+        x86_agent = CoordinationAgent(
+            sim, x86, reliable.endpoint("x86"), handler_vm=x86.dom0
+        )
+        ixp_agent = CoordinationAgent(sim, ixp, reliable.endpoint("ixp"))
+        return x86, ixp, x86_agent, ixp_agent
+
+    def test_agent_installs_tune_coalescer(self):
+        """Bursty same-entity Tunes merge; the full delta still lands."""
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = self._build(sim)
+        vm = x86.create_vm("guest")
+        for _ in range(10):
+            ixp_agent.send_tune(EntityId("x86", "guest"), +8)
+        sim.run(until=seconds(1))
+        assert vm.weight == 256 + 80
+        assert ixp_agent.endpoint.coalesced == 9
+        assert ixp_agent.endpoint.frames_sent == 2
+
+    def test_triggers_never_coalesce(self):
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = self._build(sim)
+        x86.create_vm("guest")
+        for _ in range(3):
+            ixp_agent.send_trigger(EntityId("x86", "guest"))
+        sim.run(until=seconds(1))
+        assert ixp_agent.endpoint.coalesced == 0
+        assert x86_agent.triggers_applied == 3
+
+    def test_full_delta_lands_despite_loss(self):
+        sim = Simulator()
+        x86, ixp, x86_agent, ixp_agent = self._build(sim, loss=0.3)
+        vm = x86.create_vm("guest")
+        for _ in range(50):
+            ixp_agent.send_tune(EntityId("x86", "guest"), +4)
+        sim.run(until=seconds(5))
+        assert vm.weight == 256 + 200
+        assert ixp_agent.endpoint.dead_lettered == 0
+        assert ixp_agent.channel_stats()["sent"] == 50

@@ -1,0 +1,101 @@
+"""Tests for channel-reliability metrics and windowed-counter alignment."""
+
+from repro.interconnect import CoordinationChannel, ReliableChannel
+from repro.metrics import (
+    CHANNEL_TRACE_KINDS,
+    ChannelReliabilityCollector,
+    WindowedCounter,
+)
+from repro.sim import RandomStreams, Simulator, Tracer, ms, seconds, us
+
+
+class TestWindowedCounterAlignment:
+    def test_straddling_bucket_counted_in_full(self):
+        """Regression: a bucket straddling an unaligned ``start`` used to be
+        included or excluded whole based on its *start* time, misattributing
+        its events to a span that does not contain them all."""
+        sim = Simulator()
+        counter = WindowedCounter(sim, window=seconds(1))
+
+        def emitter(sim):
+            yield sim.timeout(ms(100))
+            counter.record(10)  # lands in bucket [0 s, 1 s)
+
+        sim.spawn(emitter(sim))
+        sim.run()
+        # Unaligned query starting after the event: the old code summed the
+        # whole bucket (its start 0 >= start failed -> excluded... or for
+        # start=50ms included all 10 over a 0.95 s span = 10.5/s). Clamped
+        # to the full [0 s, 1 s) window, the rate is exactly 10/s.
+        assert counter.rate_per_second(ms(50), seconds(1)) == 10.0
+        # A query clipped inside one window still charges the whole window.
+        assert counter.rate_per_second(ms(50), ms(950)) == 10.0
+
+    def test_unaligned_end_extends_to_bucket_boundary(self):
+        sim = Simulator()
+        counter = WindowedCounter(sim, window=seconds(1))
+
+        def emitter(sim):
+            yield sim.timeout(seconds(1) + ms(500))
+            counter.record(6)  # bucket [1 s, 2 s)
+
+        sim.spawn(emitter(sim))
+        sim.run()
+        # end=1.6 s straddles the event's bucket: span clamps to [1 s, 2 s).
+        assert counter.rate_per_second(seconds(1), seconds(1) + ms(600)) == 6.0
+        # A range strictly before the bucket sees nothing.
+        assert counter.rate_per_second(0, seconds(1)) == 0.0
+
+    def test_aligned_queries_unchanged(self):
+        sim = Simulator()
+        counter = WindowedCounter(sim, window=seconds(1))
+
+        def emitter(sim):
+            for _ in range(4):
+                counter.record(5)
+                yield sim.timeout(seconds(1))
+
+        sim.spawn(emitter(sim))
+        sim.run()
+        assert counter.rate_per_second() == 5.0
+        assert counter.rate_per_second(seconds(1), seconds(3)) == 5.0
+
+
+class TestChannelReliabilityCollector:
+    def test_collects_reliability_kinds(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        collector = ChannelReliabilityCollector(sim, tracer)
+        raw = CoordinationChannel(
+            sim,
+            latency=us(100),
+            loss_probability=0.4,
+            rng=RandomStreams(13).stream("loss"),
+            tracer=tracer,
+        )
+        reliable = ReliableChannel(raw)
+        sender = reliable.endpoint("ixp")
+        reliable.endpoint("x86").set_receiver(lambda m: None)
+        for i in range(40):
+            sender.send(i)
+        sim.run()
+        totals = collector.totals()
+        assert set(totals) == set(CHANNEL_TRACE_KINDS)
+        assert totals["frame-sent"] == sender.frames_sent == 40
+        assert totals["frame-retransmit"] == sender.retransmits > 0
+        assert totals["frame-acked"] == sender.frames_acked
+        assert totals["msg-dropped"] == raw.messages_lost > 0
+        assert collector.total("frame-sent") == 40
+        assert sum(p.value for p in collector.series("frame-sent")) == 40
+        assert collector.rate_per_second("frame-sent") > 0
+
+    def test_silent_with_tracing_disabled(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=False)
+        collector = ChannelReliabilityCollector(sim, tracer)
+        raw = CoordinationChannel(sim, latency=0, tracer=tracer)
+        reliable = ReliableChannel(raw)
+        reliable.endpoint("x86").set_receiver(lambda m: None)
+        reliable.endpoint("ixp").send("m")
+        sim.run()
+        assert all(v == 0 for v in collector.totals().values())
