@@ -3,13 +3,14 @@
 The five RUBiS artefacts (Figures 2, 4, 5 and Tables 1, 2) come from one
 paired run, and the two trigger artefacts (Figure 7, Table 3) from
 another; results are cached process-wide so the whole benchmark suite pays
-for each expensive experiment once. Every benchmark still *can* regenerate
-its artefact standalone — the cache is a convenience, not a dependency.
+for each expensive experiment once. The caches are keyed on the run
+parameters — ``(duration, seed)`` for RUBiS, ``seed`` for the trigger
+pair — so a benchmark asking for different parameters can never be served
+a stale pair. Every benchmark still *can* regenerate its artefact
+standalone — the cache is a convenience, not a dependency.
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 from repro.experiments import (
     RubisPairResult,
@@ -23,24 +24,23 @@ from repro.sim import seconds
 RUBIS_DURATION = seconds(60)
 BENCH_SEED = 1
 
-_rubis_pair: Optional[RubisPairResult] = None
-_trigger_pair: Optional[TriggerPairResult] = None
+_rubis_pairs: dict[tuple[int, int], RubisPairResult] = {}
+_trigger_pairs: dict[int, TriggerPairResult] = {}
 
 
-def get_rubis_pair() -> RubisPairResult:
-    """The shared baseline/coordinated RUBiS pair (computed once)."""
-    global _rubis_pair
-    if _rubis_pair is None:
-        _rubis_pair = run_rubis_pair(duration=RUBIS_DURATION, seed=BENCH_SEED)
-    return _rubis_pair
+def get_rubis_pair(duration: int = RUBIS_DURATION, seed: int = BENCH_SEED) -> RubisPairResult:
+    """The shared baseline/coordinated RUBiS pair (computed once per key)."""
+    key = (duration, seed)
+    if key not in _rubis_pairs:
+        _rubis_pairs[key] = run_rubis_pair(duration=duration, seed=seed)
+    return _rubis_pairs[key]
 
 
-def get_trigger_pair() -> TriggerPairResult:
-    """The shared baseline/trigger MPlayer pair (computed once)."""
-    global _trigger_pair
-    if _trigger_pair is None:
-        _trigger_pair = run_trigger_pair(seed=BENCH_SEED)
-    return _trigger_pair
+def get_trigger_pair(seed: int = BENCH_SEED) -> TriggerPairResult:
+    """The shared baseline/trigger MPlayer pair (computed once per seed)."""
+    if seed not in _trigger_pairs:
+        _trigger_pairs[seed] = run_trigger_pair(seed=seed)
+    return _trigger_pairs[seed]
 
 
 def emit(artefact: str) -> None:

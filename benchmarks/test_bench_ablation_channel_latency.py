@@ -14,7 +14,7 @@ multi-second extremes. Two findings are asserted:
 from dataclasses import replace
 
 from repro.apps.rubis import RubisConfig
-from repro.experiments import render_table, run_rubis
+from repro.experiments import Call, render_table, run_calls, run_rubis
 from repro.sim import ms, seconds, us
 from repro.testbed import TestbedConfig
 
@@ -23,14 +23,16 @@ from _shared import emit, get_rubis_pair
 LATENCIES = (us(150), ms(5), ms(50), seconds(3))
 
 
+def run_arm(latency: int):
+    config = RubisConfig(
+        testbed=TestbedConfig(driver_poll_burn_duty=0.5, channel_latency=latency)
+    )
+    return run_rubis(True, duration=seconds(40), config=config)
+
+
 def run_sweep():
-    results = {}
-    for latency in LATENCIES:
-        config = RubisConfig(
-            testbed=TestbedConfig(driver_poll_burn_duty=0.5, channel_latency=latency)
-        )
-        results[latency] = run_rubis(True, duration=seconds(40), config=config)
-    return results
+    arms = run_calls([Call(run_arm, args=(latency,)) for latency in LATENCIES])
+    return dict(zip(LATENCIES, arms))
 
 
 def test_bench_ablation_channel_latency(benchmark):

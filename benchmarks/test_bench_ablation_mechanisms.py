@@ -14,7 +14,7 @@ from dataclasses import replace
 
 from repro.apps.mplayer import deploy_mplayer
 from repro.coordination.mplayer_policy import STAGE_BITRATE, STAGE_OFF
-from repro.experiments import render_table
+from repro.experiments import Call, render_table, run_calls
 from repro.experiments.mplayer import TRIGGER_DURATION, TRIGGER_WARMUP, trigger_config
 
 from _shared import emit
@@ -39,7 +39,8 @@ ARMS = (
 
 
 def run_all():
-    return {label: run_arm(stage, trig) for label, stage, trig in ARMS}
+    arms = run_calls([Call(run_arm, args=(stage, trig)) for _, stage, trig in ARMS])
+    return {label: result for (label, _, _), result in zip(ARMS, arms)}
 
 
 def test_bench_ablation_mechanisms(benchmark):

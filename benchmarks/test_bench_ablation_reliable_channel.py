@@ -15,7 +15,7 @@ and a swept retry budget. Three findings are asserted:
 """
 
 from repro.apps.rubis import RubisConfig
-from repro.experiments import render_table, run_rubis
+from repro.experiments import Call, render_table, run_calls, run_rubis
 from repro.sim import seconds
 from repro.testbed import TestbedConfig
 
@@ -25,22 +25,22 @@ LOSS_LEVELS = (0.1, 0.3)
 RETRY_BUDGETS = (0, 2, 8)
 
 
+def run_arm(loss: float, budget: int):
+    config = RubisConfig(
+        testbed=TestbedConfig(
+            driver_poll_burn_duty=0.5,
+            channel_loss_probability=loss,
+            reliable=True,
+            reliable_max_retries=budget,
+        )
+    )
+    return run_rubis(True, duration=seconds(30), config=config)
+
+
 def run_sweep():
-    results = {}
-    for loss in LOSS_LEVELS:
-        for budget in RETRY_BUDGETS:
-            config = RubisConfig(
-                testbed=TestbedConfig(
-                    driver_poll_burn_duty=0.5,
-                    channel_loss_probability=loss,
-                    reliable=True,
-                    reliable_max_retries=budget,
-                )
-            )
-            results[(loss, budget)] = run_rubis(
-                True, duration=seconds(30), config=config
-            )
-    return results
+    points = [(loss, budget) for loss in LOSS_LEVELS for budget in RETRY_BUDGETS]
+    arms = run_calls([Call(run_arm, args=point) for point in points])
+    return dict(zip(points, arms))
 
 
 def dead_letter_fraction(run) -> float:

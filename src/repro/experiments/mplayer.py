@@ -18,6 +18,7 @@ from ..sim import ms, seconds
 from ..testbed import TestbedConfig
 from ..x86 import X86Params
 from .report import percent_change, render_series, render_table
+from .runner import Call, run_pair
 
 #: Per-stage measured window of the Figure 6 ladder.
 QOS_STAGE_DURATION = seconds(25)
@@ -189,12 +190,15 @@ def run_trigger_arm(buffer_trigger: bool, seed: int = 1) -> TriggerRunResult:
     )
 
 
-def run_trigger_pair(seed: int = 1) -> TriggerPairResult:
-    """Both arms of the buffer-monitoring experiment."""
-    return TriggerPairResult(
-        base=run_trigger_arm(False, seed=seed),
-        coord=run_trigger_arm(True, seed=seed),
+def run_trigger_pair(seed: int = 1, parallel: bool = True) -> TriggerPairResult:
+    """Both arms of the buffer-monitoring experiment, fanned out in
+    parallel on a multicore host (identical results either way)."""
+    base, coord = run_pair(
+        Call(run_trigger_arm, args=(False,), kwargs=dict(seed=seed)),
+        Call(run_trigger_arm, args=(True,), kwargs=dict(seed=seed)),
+        max_workers=None if parallel else 1,
     )
+    return TriggerPairResult(base=base, coord=coord)
 
 
 def render_figure7(pair: TriggerPairResult) -> str:

@@ -17,6 +17,7 @@ from ..sim import seconds
 from ..testbed import TestbedConfig
 from ..x86.island import DOM0_NAME
 from .report import percent_change, render_bars, render_minmax, render_table
+from .runner import Call, run_pair
 
 #: Default measured duration of one arm (after its internal warmup).
 DEFAULT_DURATION = seconds(80)
@@ -72,12 +73,15 @@ def run_rubis(
     seed: int = 1,
     config: Optional[RubisConfig] = None,
     reliable: Optional[bool] = None,
+    fastpath: bool = True,
 ) -> RubisRunResult:
     """Run one RUBiS arm and collect its metrics.
 
     ``reliable`` opts the coordination channel into the ack/retransmit
     layer (overriding the testbed config); None keeps whatever the config
-    says — the paper's figures use the raw mailbox.
+    says — the paper's figures use the raw mailbox. ``fastpath=False``
+    routes every integer yield through the allocating Timeout path — a
+    determinism-audit knob (the metrics must not change), not a feature.
     """
     base_config = config or RubisConfig()
     testbed_config = replace(base_config.testbed, seed=seed)
@@ -89,6 +93,7 @@ def run_rubis(
         testbed=testbed_config,
     )
     deployment = deploy_rubis(run_config)
+    deployment.sim._fastpath = fastpath
     deployment.run(run_config.warmup + duration)
 
     stats = deployment.client.stats
@@ -115,13 +120,25 @@ def run_rubis(
 
 
 def run_rubis_pair(
-    duration: int = DEFAULT_DURATION, seed: int = 1, config: Optional[RubisConfig] = None
+    duration: int = DEFAULT_DURATION,
+    seed: int = 1,
+    config: Optional[RubisConfig] = None,
+    parallel: bool = True,
+    fastpath: bool = True,
 ) -> RubisPairResult:
-    """Run both arms on the same seed."""
-    return RubisPairResult(
-        base=run_rubis(False, duration=duration, seed=seed, config=config),
-        coord=run_rubis(True, duration=duration, seed=seed, config=config),
+    """Run both arms on the same seed, side by side on a multicore host.
+
+    The arms are independent simulators, so the pair fans out through
+    :mod:`repro.experiments.runner`; ``parallel=False`` forces the serial
+    path (the results are identical either way).
+    """
+    shared = dict(duration=duration, seed=seed, config=config, fastpath=fastpath)
+    base, coord = run_pair(
+        Call(run_rubis, kwargs=dict(coordinated=False, **shared)),
+        Call(run_rubis, kwargs=dict(coordinated=True, **shared)),
+        max_workers=None if parallel else 1,
     )
+    return RubisPairResult(base=base, coord=coord)
 
 
 # -- artefact renderers ---------------------------------------------------

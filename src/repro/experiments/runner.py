@@ -1,0 +1,112 @@
+"""Process-parallel fan-out for independent simulation runs.
+
+Every experiment arm is one isolated :class:`~repro.sim.core.Simulator` —
+arms share no state, so a config sweep or a baseline/coordinated pair is
+embarrassingly parallel. :func:`run_calls` fans a list of :class:`Call`\\ s
+out over a ``ProcessPoolExecutor`` (one worker process per arm, results in
+submission order) and degrades to plain serial execution whenever
+parallelism cannot help or cannot be trusted:
+
+* fewer than two calls, or ``max_workers=1``;
+* a single-CPU machine (worker start-up would only add overhead);
+* ``REPRO_PARALLEL=0`` in the environment (CI knob, also handy under
+  profilers that cannot follow forks);
+* inside a worker process (nested fan-out must not spawn pools of pools);
+* any failure of the pool itself — unpicklable arguments, a broken
+  worker — falls back to re-running everything serially, so callers never
+  need a try/except around :func:`run_calls`.
+
+Determinism is untouched by construction: a run's result depends only on
+its config and seed, never on which process executed it — asserted by
+``tests/experiments/test_runner.py``, which compares serial and parallel
+results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+#: Set to "0" to force serial execution regardless of core count.
+PARALLEL_ENV = "REPRO_PARALLEL"
+#: Overrides the worker count (useful to cap memory on wide machines).
+WORKERS_ENV = "REPRO_WORKERS"
+#: Present (any value) inside pool workers; nested run_calls go serial.
+_IN_WORKER_ENV = "_REPRO_IN_WORKER"
+
+
+@dataclass(frozen=True)
+class Call:
+    """One unit of work: a picklable module-level callable plus arguments."""
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+def default_workers() -> int:
+    """Worker budget: ``REPRO_WORKERS`` if set, else the CPU count."""
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def parallelism_enabled() -> bool:
+    """Whether run_calls may use worker processes at all."""
+    if os.environ.get(PARALLEL_ENV, "1") == "0":
+        return False
+    if _IN_WORKER_ENV in os.environ:
+        return False
+    return default_workers() >= 2
+
+
+def _mark_worker() -> None:
+    os.environ[_IN_WORKER_ENV] = "1"
+
+
+def _run_call(call: Call) -> Any:
+    return call.run()
+
+
+def run_calls(calls: Iterable[Call], max_workers: Optional[int] = None) -> list[Any]:
+    """Run every call, in parallel when it can help; results in order."""
+    calls = list(calls)
+    if max_workers is None:
+        max_workers = default_workers()
+    workers = min(max_workers, len(calls))
+    if workers < 2 or not parallelism_enabled():
+        return [call.run() for call in calls]
+    try:
+        with ProcessPoolExecutor(max_workers=workers, initializer=_mark_worker) as pool:
+            futures = [pool.submit(_run_call, call) for call in calls]
+            return [future.result() for future in futures]
+    except Exception:
+        # Pool trouble (unpicklable call, broken worker, fork refused by
+        # the sandbox): arms are pure functions of their arguments, so a
+        # serial re-run is always safe — a genuine experiment error will
+        # re-raise from here with an honest traceback.
+        return [call.run() for call in calls]
+
+
+def run_pair(first: Call, second: Call, max_workers: Optional[int] = None) -> tuple[Any, Any]:
+    """Run two arms (typically baseline vs coordinated) side by side."""
+    first_result, second_result = run_calls([first, second], max_workers=max_workers)
+    return first_result, second_result
+
+
+def run_sweep(
+    fn: Callable[..., Any],
+    points: Sequence[dict],
+    max_workers: Optional[int] = None,
+) -> list[Any]:
+    """Evaluate ``fn(**point)`` for every sweep point, fanning out."""
+    return run_calls([Call(fn, kwargs=dict(point)) for point in points], max_workers=max_workers)

@@ -119,7 +119,7 @@ class MessagingDriver:
     def _poll_loop(self):
         """Strict polling mode: check the ring every ``poll_period``."""
         while True:
-            yield self.sim.timeout(self.poll_period)
+            yield self.poll_period
             yield self.dom0.execute(SERVICE_COST, kind="sys")
             drained = 0
             while drained < self.rx_batch_limit:
@@ -147,7 +147,7 @@ class MessagingDriver:
         while True:
             yield self.dom0.execute(burst, kind="sys")
             if gap > 0:
-                yield self.sim.timeout(gap)
+                yield gap
 
     def transmit(self, packet: Packet) -> None:
         """ViF TX entry point: queue a packet toward the IXP (async)."""

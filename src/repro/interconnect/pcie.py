@@ -50,7 +50,7 @@ class PCIeBus:
         request = self._channel.request()
         yield request
         try:
-            yield self.sim.timeout(self.transfer_time(size))
+            yield self.transfer_time(size)
         finally:
             self._channel.release(request)
         self.transfers += 1

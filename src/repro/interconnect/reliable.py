@@ -110,6 +110,9 @@ class _Pending:
     rto: int
     #: Retransmissions performed so far (0 = only the initial send).
     retries: int = 0
+    #: The live RTO timer event; cancelled when the frame is acked so the
+    #: dead timer does not churn the simulator heap.
+    timer: Optional[Any] = None
 
 
 class ReliableEndpoint:
@@ -222,7 +225,7 @@ class ReliableEndpoint:
     def _put_on_wire(self, entry: _Pending) -> None:
         self.raw.send(DataFrame(entry.seq, entry.message))
         retries_at_send = entry.retries
-        self.sim.call_in(
+        entry.timer = self.sim.call_in(
             entry.rto, lambda: self._on_retransmit_timer(entry.seq, retries_at_send)
         )
 
@@ -278,6 +281,9 @@ class ReliableEndpoint:
         entry = self._inflight.pop(frame.seq, None)
         if entry is None:
             return  # duplicate ack (retransmitted frame acked twice)
+        if entry.timer is not None:
+            entry.timer.cancel()  # retire the RTO timer instead of letting
+            entry.timer = None  # it fire as a guarded no-op
         self.frames_acked += 1
         self.tracer.emit(
             "reliable", "frame-acked", frm=self.name, seq=frame.seq,

@@ -157,7 +157,7 @@ class WeightedDequeuer:
             # Host ring full: back off briefly and retry (hardware engines
             # spin on the ring's consumer index the same way).
             self.ring_full_stalls += 1
-            yield self.sim.timeout(self.params.memory.dram * 8)
+            yield self.params.memory.dram * 8
         self.shipped += 1
         if queue.poll_interval > 0:
-            yield self.sim.timeout(queue.poll_interval)
+            yield queue.poll_interval

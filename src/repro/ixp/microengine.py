@@ -72,7 +72,9 @@ class HardwareThread:
         request = self.me.pipeline.request()
         yield request
         try:
-            yield self.me.sim.timeout(duration)
+            # Pure delay: the integer fast path skips Timeout allocation on
+            # the simulator's hottest yield site.
+            yield duration
         finally:
             self.me.pipeline.release(request)
         self.me.busy_time += duration
@@ -80,7 +82,7 @@ class HardwareThread:
 
     def mem(self, level: str) -> Generator:
         """One memory reference: the pipeline is free for sibling threads."""
-        yield self.me.sim.timeout(self.me.memory.latency(level))
+        yield self.me.memory.latency(level)
 
     def __repr__(self) -> str:
         return f"<HardwareThread {self.name}>"

@@ -69,7 +69,8 @@ class Link:
     def _pump(self):
         while True:
             packet = yield self._queue.get()
-            yield self.sim.timeout(self.serialization_delay(packet.size))
+            # Integer fast path: per-packet serialisation with no Timeout.
+            yield self.serialization_delay(packet.size)
             # Propagation is pipelined: schedule delivery, keep serialising.
             self.sim.call_in(self.latency, lambda p=packet: self._deliver(p))
 

@@ -23,6 +23,33 @@ from .errors import (
 _PENDING = object()
 
 
+class _DelayWakeup:
+    """Heap token for the integer-delay fast path (``yield <int>``).
+
+    When a process yields a plain ``int`` it sleeps directly on the
+    simulator heap: no :class:`Timeout`, no :class:`Event`, just this token.
+    Each process owns one token and reuses it for consecutive delays, so a
+    steady-state delay loop allocates nothing per sleep. ``gen`` guards
+    against stale firings: an interrupt that moves the process on bumps the
+    process's generation counter, and the abandoned in-heap token is
+    ignored (and recycled) when it finally pops.
+    """
+
+    __slots__ = ("process", "gen", "value")
+
+    #: Read by :meth:`Simulator.step`'s cancelled-entry skip; wakeup tokens
+    #: are never cancelled (abandonment is handled via ``gen``).
+    _cancelled = False
+
+    def __init__(self, process):
+        self.process = process
+        self.gen = -1
+        #: Value sent into the generator on wakeup (non-None only when the
+        #: token stands in for an already-processed target's zero-delay
+        #: resume).
+        self.value = None
+
+
 class Event:
     """A one-shot occurrence that callbacks (and processes) can wait on.
 
@@ -31,7 +58,16 @@ class Event:
     (zero-delay, but still through the queue so ordering stays consistent).
     """
 
-    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+    __slots__ = (
+        "sim",
+        "name",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_scheduled",
+        "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -43,6 +79,7 @@ class Event:
         self._ok = True
         self._scheduled = False
         self._defused = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -122,6 +159,22 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         sim._schedule(self, delay=delay)
+
+    def cancel(self) -> bool:
+        """Cancel the timer so its callbacks never run.
+
+        Returns False (and is a no-op) if the timer already fired. The heap
+        entry is deleted lazily: it stays queued until its time arrives and
+        is then skipped, and the simulator compacts the heap when cancelled
+        entries pile up. Cancel only timers you own exclusively — a process
+        ``yield``-ing a cancelled timeout would sleep forever.
+        """
+        if self.callbacks is None:
+            return False
+        if not self._cancelled:
+            self._cancelled = True
+            self.sim._note_cancelled()
+        return True
 
 
 class Condition(Event):
@@ -205,11 +258,19 @@ class Simulator:
         sim.run(until=seconds(10))
     """
 
-    def __init__(self, start_time: int = 0):
+    def __init__(self, start_time: int = 0, fastpath: bool = True):
         self._now: int = start_time
-        self._heap: list[tuple[int, int, Event]] = []
+        #: Heap entries are ``(time, seq, Event | _DelayWakeup)``; the seq
+        #: tie-breaker is unique, so the payload is never compared.
+        self._heap: list[tuple[int, int, Any]] = []
         self._seq = 0  # tie-breaker giving FIFO order to simultaneous events
         self._active_process = None  # set by Process while it executes
+        #: When False, ``yield <int>`` routes through a real Timeout (the
+        #: allocating path) instead of a heap token. The two paths are
+        #: observationally identical; the switch exists so determinism
+        #: audits can run the same scenario both ways and compare.
+        self._fastpath = fastpath
+        self._cancelled_pending = 0  # cancelled timers still in the heap
 
     # -- clock -----------------------------------------------------------
 
@@ -250,6 +311,25 @@ class Simulator:
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
         self._seq += 1
 
+    def _schedule_wakeup(self, wakeup: _DelayWakeup, delay: int) -> None:
+        """Queue a process's integer-delay wakeup token (fast path)."""
+        heapq.heappush(self._heap, (self._now + delay, self._seq, wakeup))
+        self._seq += 1
+
+    def _note_cancelled(self) -> None:
+        """Track a lazily-deleted timer; compact the heap when they pile up.
+
+        Rebuilding drops every cancelled entry in one pass; ``heapify`` on
+        the surviving ``(time, seq)``-keyed tuples is deterministic because
+        pops always come out in ascending key order regardless of the
+        heap's internal layout.
+        """
+        self._cancelled_pending += 1
+        if self._cancelled_pending >= 64 and self._cancelled_pending * 2 > len(self._heap):
+            self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
+
     def call_at(self, when: int, fn: Callable[[], None]) -> Event:
         """Run ``fn()`` at absolute time ``when``; returns the timer event."""
         if when < self._now:
@@ -271,9 +351,19 @@ class Simulator:
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> None:
-        """Process exactly one event (advance the clock to it)."""
+        """Process exactly one heap entry (advance the clock to it).
+
+        A cancelled timer or a delay-wakeup token still counts as one
+        step; cancelled entries are skipped without running callbacks.
+        """
         when, _seq, event = heapq.heappop(self._heap)
         self._now = when
+        if event._cancelled:
+            self._cancelled_pending -= 1
+            return
+        if event.__class__ is _DelayWakeup:
+            event.process._delay_fired(event)
+            return
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:

@@ -5,20 +5,31 @@ objects. Yielding suspends the process until the event fires; the event's
 value is sent back into the generator (or its exception thrown, for failed
 events). A :class:`Process` is itself an event that fires when the generator
 returns, so processes can ``yield other_process`` to join on it.
+
+The fast path: a process may also ``yield`` a plain non-negative ``int`` —
+a pure delay. Instead of allocating a :class:`~repro.sim.core.Timeout` (and
+its callback list) per sleep, the process parks a reusable
+:class:`~repro.sim.core._DelayWakeup` token directly on the simulator heap
+and resumes with ``None``, exactly as ``yield sim.timeout(n)`` would. The
+two spellings are observationally identical — same event ordering, same
+sequence-number consumption, same interrupt semantics — which
+``tests/sim/test_fastpath.py`` asserts pairwise; the fast path is simply
+allocation-free. Booleans are rejected (``yield True`` is almost certainly
+a bug, not a 1 ns delay).
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from .core import Event, Simulator
+from .core import Event, Simulator, Timeout, _DelayWakeup
 from .errors import Interrupt, SimulationError
 
 
 class Process(Event):
     """Wraps a generator and steps it each time its awaited event fires."""
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_in_fast_delay", "_delay_gen", "_delay_wakeup")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -26,8 +37,16 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         #: The event this process is currently waiting on (None when ready
-        #: to start or already finished).
+        #: to start, sleeping on the heap via the fast path, or finished).
         self._target: Optional[Event] = None
+        #: True while the process sleeps on a heap-parked delay token.
+        self._in_fast_delay = False
+        #: Bumped whenever a fast delay is armed or abandoned; a token
+        #: whose ``gen`` no longer matches is stale and is ignored.
+        self._delay_gen = 0
+        #: The process's reusable wakeup token while it is *not* in the
+        #: heap (None while parked there, or before first use).
+        self._delay_wakeup: Optional[_DelayWakeup] = None
 
         # Kick the process off via a zero-delay event so that spawning from
         # inside another process does not recursively execute it.
@@ -46,7 +65,11 @@ class Process(Event):
 
     @property
     def target(self) -> Optional[Event]:
-        """The event the process is currently suspended on."""
+        """The event the process is currently suspended on.
+
+        None while the process sleeps on a fast integer delay (there is no
+        event object then) as well as before start and after finish.
+        """
         return self._target
 
     # -- control ---------------------------------------------------------
@@ -75,21 +98,44 @@ class Process(Event):
         # the target fired after an interrupt already moved us on.
         if self.triggered:
             return
-        if self._target is not None and event is not self._target:
+        if self._in_fast_delay or (self._target is not None and event is not self._target):
             # Only interrupt events may barge in on a waiting process; any
-            # other mismatched wakeup is a stale target firing after an
+            # other mismatched wakeup is a stale event firing after an
             # interrupt already moved the process on.
             if event.ok or not isinstance(event._value, Interrupt):
                 return
+            if self._in_fast_delay:
+                # Abandon the heap-parked token; it is ignored when it pops.
+                self._in_fast_delay = False
+                self._delay_gen += 1
         self._target = None
 
+        if event.ok:
+            self._step(self._generator.send, event.value)
+        else:
+            event.defused()
+            self._step(self._generator.throw, event.value)
+
+    def _delay_fired(self, wakeup: _DelayWakeup) -> None:
+        """A heap-parked delay token popped (called by ``Simulator.step``)."""
+        if not self._in_fast_delay or wakeup.gen != self._delay_gen:
+            # Stale: an interrupt moved the process on. Recycle the token
+            # unless a fresh one already took the slot.
+            if self._delay_wakeup is None:
+                self._delay_wakeup = wakeup
+            return
+        self._in_fast_delay = False
+        value = wakeup.value
+        if self._delay_wakeup is None:
+            wakeup.value = None
+            self._delay_wakeup = wakeup
+        self._step(self._generator.send, value)
+
+    def _step(self, advance, argument: Any) -> None:
+        """Advance the generator one yield and act on what it yields."""
         previous, self.sim._active_process = self.sim._active_process, self
         try:
-            if event.ok:
-                next_target = self._generator.send(event.value)
-            else:
-                event.defused()
-                next_target = self._generator.throw(event.value)
+            next_target = advance(argument)
         except StopIteration as stop:
             self.sim._active_process = previous
             self.succeed(stop.value)
@@ -99,6 +145,21 @@ class Process(Event):
             self.fail(exc)
             return
         self.sim._active_process = previous
+
+        if type(next_target) is int:
+            if next_target < 0:
+                self._generator.close()
+                self.fail(
+                    SimulationError(
+                        f"process {self.name!r} yielded negative delay {next_target}"
+                    )
+                )
+                return
+            if self.sim._fastpath:
+                self._arm_delay(next_target, None)
+                return
+            # Determinism-audit mode: take the allocating Timeout path.
+            next_target = Timeout(self.sim, next_target)
 
         if not isinstance(next_target, Event):
             error = SimulationError(
@@ -112,9 +173,12 @@ class Process(Event):
             self.fail(SimulationError("yielded an event belonging to a different simulator"))
             return
 
-        self._target = next_target
         if next_target.callbacks is None:
             # Already processed: resume on the next loop iteration.
+            if next_target.ok and self.sim._fastpath:
+                # Same zero-delay hop, minus the throwaway Event.
+                self._arm_delay(0, next_target._value)
+                return
             ready = Event(self.sim, name="ready")
             ready._ok = next_target.ok
             ready._value = next_target._value
@@ -124,7 +188,23 @@ class Process(Event):
             self.sim._schedule(ready, delay=0)
             ready.callbacks.append(self._resume)
         else:
+            self._target = next_target
             next_target.callbacks.append(self._resume)
+
+    def _arm_delay(self, delay: int, value: Any) -> None:
+        """Park the process on the heap for ``delay`` ticks (fast path)."""
+        wakeup = self._delay_wakeup
+        if wakeup is None:
+            # Our token is still in the heap from an abandoned delay; a
+            # fresh one keeps the stale entry unambiguously dead.
+            wakeup = _DelayWakeup(self)
+        else:
+            self._delay_wakeup = None
+        self._delay_gen += 1
+        wakeup.gen = self._delay_gen
+        wakeup.value = value
+        self._in_fast_delay = True
+        self.sim._schedule_wakeup(wakeup, delay)
 
     def __repr__(self) -> str:
         status = "finished" if self.triggered else "alive"

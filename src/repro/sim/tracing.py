@@ -8,6 +8,7 @@ internals.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
@@ -32,21 +33,51 @@ class Tracer:
 
     def __init__(self, sim: Simulator, enabled: bool = True):
         self.sim = sim
-        self.enabled = enabled
+        self._enabled = enabled
         self._sinks_by_kind: dict[str, list[TraceSink]] = {}
         self._global_sinks: list[TraceSink] = []
+        #: kind -> would emit() reach anyone; invalidated on subscribe and
+        #: on enabled toggles.
+        self._wants_cache: dict[str, bool] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Master switch; assigning it invalidates the ``wants`` cache."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = value
+        self._wants_cache.clear()
 
     def subscribe(self, sink: TraceSink, kinds: Optional[Iterable[str]] = None) -> None:
         """Attach ``sink``; with ``kinds=None`` it receives every record."""
+        self._wants_cache.clear()
         if kinds is None:
             self._global_sinks.append(sink)
             return
         for kind in kinds:
             self._sinks_by_kind.setdefault(kind, []).append(sink)
 
+    def wants(self, kind: str) -> bool:
+        """True if an ``emit`` of ``kind`` would reach any sink (memoized).
+
+        Hot paths guard their ``emit`` calls with this so that, with nobody
+        subscribed, they skip even the keyword-argument marshalling of the
+        payload — ``emit`` itself cannot avoid that cost.
+        """
+        try:
+            return self._wants_cache[kind]
+        except KeyError:
+            result = self._enabled and bool(
+                self._sinks_by_kind.get(kind) or self._global_sinks
+            )
+            self._wants_cache[kind] = result
+            return result
+
     def emit(self, source: str, kind: str, **payload: Any) -> None:
         """Publish a record stamped with the current simulation time."""
-        if not self.enabled:
+        if not self._enabled:
             return
         sinks = self._sinks_by_kind.get(kind)
         if not sinks and not self._global_sinks:
@@ -74,10 +105,11 @@ class TraceLog:
 
     def count_by_kind(self) -> dict[str, int]:
         """Record counts keyed by kind (handy for channel accounting)."""
-        counts: dict[str, int] = {}
-        for record in self.records:
-            counts[record.kind] = counts.get(record.kind, 0) + 1
-        return counts
+        return dict(Counter(record.kind for record in self.records))
+
+    def clear(self) -> None:
+        """Drop all accumulated records (for long-running sinks)."""
+        self.records.clear()
 
     def __len__(self) -> int:
         return len(self.records)

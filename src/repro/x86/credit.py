@@ -266,8 +266,9 @@ class CreditScheduler:
         vcpu.state = VCPUState.RUNNING
         vcpu.cpu = cpu
         cpu.current = vcpu
-        self.tracer.emit("csched", "ctxsw-in", cpu=cpu.index, vcpu=vcpu.name,
-                         vm=vcpu.vm.name)
+        if self.tracer.wants("ctxsw-in"):
+            self.tracer.emit("csched", "ctxsw-in", cpu=cpu.index, vcpu=vcpu.name,
+                             vm=vcpu.vm.name)
         if vcpu.runnable_since is not None:
             vcpu.vm.accounting.steal += self.sim.now - vcpu.runnable_since
             vcpu.runnable_since = None
@@ -281,7 +282,7 @@ class CreditScheduler:
                 # chance to land before blocking, like a real guest that
                 # has not executed HLT yet.
                 try:
-                    yield self.sim.timeout(0)
+                    yield 0
                 except Interrupt:
                     pass
                 if guest.acquire_work(vcpu.name) is not None:
@@ -311,7 +312,9 @@ class CreditScheduler:
 
             started = self.sim.now
             try:
-                yield self.sim.timeout(segment)
+                # Slice burst as a pure integer delay (fast path); the
+                # preemption Interrupt semantics are unchanged.
+                yield segment
             except Interrupt:
                 ran = self.sim.now - started
                 self._charge(vcpu, item, ran, self._consumed(ran, item, speed))
@@ -320,8 +323,9 @@ class CreditScheduler:
             self._charge(vcpu, item, segment, self._consumed(segment, item, speed))
 
         cpu.current = None
-        self.tracer.emit("csched", "ctxsw-out", cpu=cpu.index, vcpu=vcpu.name,
-                         vm=vcpu.vm.name)
+        if self.tracer.wants("ctxsw-out"):
+            self.tracer.emit("csched", "ctxsw-out", cpu=cpu.index, vcpu=vcpu.name,
+                             vm=vcpu.vm.name)
 
     @staticmethod
     def _consumed(wall: int, item, speed: float) -> int:
@@ -362,7 +366,7 @@ class CreditScheduler:
         tick retains its scheduling roles.)
         """
         while True:
-            yield self.sim.timeout(self.params.tick_period)
+            yield self.params.tick_period
             for cpu in self.cpus:
                 running = cpu.current
                 if running is None:
@@ -380,7 +384,7 @@ class CreditScheduler:
     def _accounting_loop(self):
         """Every 30 ms: redistribute credits by weight among active domains."""
         while True:
-            yield self.sim.timeout(self.params.accounting_period)
+            yield self.params.accounting_period
             self._do_accounting()
 
     def _do_accounting(self) -> None:

@@ -1,0 +1,129 @@
+"""The parallel runner must change wall time only, never results.
+
+Covers the fan-out machinery itself (ordering, serial degradation, the
+unpicklable-fallback) and the acceptance criterion for this whole
+optimisation effort: a short RUBiS pair renders bit-identical paper
+artefacts whether it runs serial, parallel, fast path or audit path.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.rubis import RubisConfig
+from repro.experiments import (
+    Call,
+    default_workers,
+    parallelism_enabled,
+    render_figure2,
+    render_figure4,
+    render_table2,
+    run_calls,
+    run_pair,
+    run_rubis_pair,
+    run_sweep,
+)
+from repro.experiments.runner import _IN_WORKER_ENV, PARALLEL_ENV, WORKERS_ENV
+from repro.sim import ms, seconds
+
+
+def square(x):
+    return x * x
+
+
+def whoami(tag):
+    return (tag, os.getpid(), _IN_WORKER_ENV in os.environ)
+
+
+class TestRunCalls:
+    def test_results_in_submission_order(self):
+        results = run_calls([Call(square, args=(i,)) for i in range(8)])
+        assert results == [i * i for i in range(8)]
+
+    def test_kwargs_and_run_pair(self):
+        a, b = run_pair(Call(square, kwargs={"x": 3}), Call(square, args=(4,)))
+        assert (a, b) == (9, 16)
+
+    def test_run_sweep(self):
+        assert run_sweep(square, [{"x": 2}, {"x": 5}]) == [4, 25]
+
+    def test_serial_when_single_call(self):
+        assert run_calls([Call(square, args=(7,))]) == [49]
+
+    def test_max_workers_one_forces_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        parent = os.getpid()
+        results = run_calls(
+            [Call(whoami, args=(i,)) for i in range(3)], max_workers=1
+        )
+        assert all(pid == parent and not worker for _, pid, worker in results)
+
+    def test_parallel_env_zero_forces_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        monkeypatch.setenv(PARALLEL_ENV, "0")
+        assert not parallelism_enabled()
+        parent = os.getpid()
+        results = run_calls([Call(whoami, args=(i,)) for i in range(3)])
+        assert all(pid == parent for _, pid, _ in results)
+
+    def test_nested_fanout_goes_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        monkeypatch.setenv(_IN_WORKER_ENV, "1")
+        assert not parallelism_enabled()
+
+    def test_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert default_workers() == 3
+        monkeypatch.setenv(WORKERS_ENV, "garbage")
+        assert default_workers() == (os.cpu_count() or 1)
+
+    def test_forced_pool_runs_in_workers(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        if not parallelism_enabled():
+            pytest.skip("parallelism unavailable in this environment")
+        results = run_calls([Call(whoami, args=(i,)) for i in range(2)])
+        tags = [tag for tag, _, _ in results]
+        assert tags == [0, 1]
+        # Either arms genuinely landed in marked worker processes, or the
+        # pool failed and the serial fallback ran them here — both give
+        # correct results; only the former marks the worker env.
+        parent = os.getpid()
+        for _, pid, in_worker in results:
+            assert in_worker == (pid != parent)
+
+    def test_unpicklable_call_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        calls = [Call(lambda: 10), Call(lambda: 20)]  # lambdas: unpicklable
+        assert run_calls(calls) == [10, 20]
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return RubisConfig(
+        num_sessions=12,
+        requests_per_session=5,
+        think_time_mean=ms(150),
+        warmup=seconds(1),
+    )
+
+
+def _render_all(pair):
+    return render_figure2(pair) + render_figure4(pair) + render_table2(pair)
+
+
+class TestPairBitReproducibility:
+    """The acceptance test: artefacts identical across every execution mode."""
+
+    def test_serial_parallel_and_audit_paths_agree(self, tiny_config):
+        kwargs = dict(duration=seconds(6), seed=7, config=tiny_config)
+        reference = _render_all(
+            run_rubis_pair(parallel=False, fastpath=True, **kwargs)
+        )
+        audit = _render_all(
+            run_rubis_pair(parallel=False, fastpath=False, **kwargs)
+        )
+        parallel = _render_all(
+            run_rubis_pair(parallel=True, fastpath=True, **kwargs)
+        )
+        assert audit == reference, "fast path changed simulation results"
+        assert parallel == reference, "parallel execution changed results"

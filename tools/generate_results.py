@@ -5,10 +5,16 @@ Run with::
     python tools/generate_results.py > RESULTS.txt
 
 Used to populate EXPERIMENTS.md; also a convenient one-shot check that the
-whole reproduction is healthy.
+whole reproduction is healthy. All five independent runs (RUBiS base and
+coord, the Figure 6 ladder, trigger base and coord) fan out across cores
+through ``repro.experiments.runner``; set ``REPRO_PARALLEL=0`` to force
+the serial path (the artefacts are identical either way).
 """
 
 from repro.experiments import (
+    Call,
+    RubisPairResult,
+    TriggerPairResult,
     render_figure2,
     render_figure4,
     render_figure5,
@@ -17,9 +23,10 @@ from repro.experiments import (
     render_table1,
     render_table2,
     render_table3,
+    run_calls,
     run_qos_ladder,
-    run_rubis_pair,
-    run_trigger_pair,
+    run_rubis,
+    run_trigger_arm,
 )
 from repro.sim import seconds
 
@@ -28,7 +35,17 @@ def main():
     print("Reproduction results — all tables and figures")
     print("=" * 72)
 
-    pair = run_rubis_pair(duration=seconds(80))
+    rubis_kwargs = dict(duration=seconds(80), seed=1)
+    base, coord, ladder, trigger_base, trigger_coord = run_calls([
+        Call(run_rubis, kwargs=dict(coordinated=False, **rubis_kwargs)),
+        Call(run_rubis, kwargs=dict(coordinated=True, **rubis_kwargs)),
+        Call(run_qos_ladder),
+        Call(run_trigger_arm, args=(False,)),
+        Call(run_trigger_arm, args=(True,)),
+    ])
+    pair = RubisPairResult(base=base, coord=coord)
+    trigger = TriggerPairResult(base=trigger_base, coord=trigger_coord)
+
     for artefact in (render_figure2(pair), render_figure4(pair), render_table1(pair),
                      render_table2(pair), render_figure5(pair)):
         print()
@@ -44,11 +61,9 @@ def main():
           f"sessions {base.sessions_completed}->{coord.sessions_completed} "
           f"sesstime {base.mean_session_time_s:.0f}->{coord.mean_session_time_s:.0f}s")
 
-    ladder = run_qos_ladder()
     print()
     print(render_figure6(ladder))
 
-    trigger = run_trigger_pair()
     print()
     print(render_figure7(trigger))
     print()

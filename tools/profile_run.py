@@ -1,0 +1,63 @@
+"""Profile a short RUBiS run under cProfile and print the hottest functions.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_run.py [--duration SECONDS] [--top N]
+
+This is the tool that motivated the kernel fast path: before it, the top
+of this profile was dominated by ``Timeout.__init__`` / ``Event``
+allocation and ``Tracer.emit`` kwargs marshalling. Run it whenever the
+simulator feels slow — the cumulative column usually points straight at
+the offending model.
+
+Profiling forces the serial path (``REPRO_PARALLEL=0``) so the workload
+runs in-process where cProfile can see it; worker processes would escape
+the profiler entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+os.environ.setdefault("REPRO_PARALLEL", "0")
+
+from repro.experiments import run_rubis  # noqa: E402  (path setup above)
+from repro.sim import seconds  # noqa: E402
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--duration", type=float, default=10.0,
+        help="simulated seconds of RUBiS to run (default: 10)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25,
+        help="number of functions to print (default: 25)",
+    )
+    parser.add_argument(
+        "--sort", default="cumulative", choices=["cumulative", "tottime", "calls"],
+        help="pstats sort key (default: cumulative)",
+    )
+    args = parser.parse_args()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_rubis(coordinated=True, duration=seconds(args.duration), seed=1)
+    profiler.disable()
+
+    print(f"RUBiS coordinated, {args.duration:g} simulated seconds: "
+          f"throughput {result.throughput:.1f} req/s, "
+          f"mean response {result.overall.mean:.0f} ms\n")
+    stats = pstats.Stats(profiler)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+
+
+if __name__ == "__main__":
+    main()
