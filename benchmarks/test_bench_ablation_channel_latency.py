@@ -11,7 +11,6 @@ multi-second extremes. Two findings are asserted:
   time is no better at 3 s than at 150 us, despite costing the same.
 """
 
-from dataclasses import replace
 
 from repro.apps.rubis import RubisConfig
 from repro.experiments import Call, render_table, run_calls, run_rubis

@@ -13,7 +13,6 @@ quantity is the end-to-end latency from a policy's send to the weight
 actually changing — the number the paper predicts hardware will collapse.
 """
 
-from dataclasses import replace
 
 from repro.apps.rubis import RubisConfig
 from repro.apps.rubis.setup import deploy_rubis

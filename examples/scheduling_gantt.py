@@ -10,7 +10,6 @@ Trigger boost — the paper's Figure 7 mechanism, seen from the scheduler's
 point of view.
 """
 
-from dataclasses import replace
 
 from repro.apps.mplayer import DOM1, HIGH_RATE_STREAM, MPlayerConfig, deploy_mplayer
 from repro.metrics import SchedulingTimeline

@@ -9,7 +9,7 @@ stage + tandem IXP thread tune) and the buffer-monitoring Trigger policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ...coordination import (

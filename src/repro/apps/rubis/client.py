@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ...sim import Event, RandomStream, Simulator, ms, seconds, to_seconds
 from ...metrics import ResponseTimeRecorder, WindowedCounter

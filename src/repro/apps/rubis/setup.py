@@ -8,7 +8,7 @@ the request-type Tune policy between the islands.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ...coordination import RequestTypeTunePolicy, TierEntities

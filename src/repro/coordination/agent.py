@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..platform import Island
+from ..platform import Island, KnobError
 from ..sim import Simulator, Tracer, us
 from ..interconnect import ChannelEndpoint
 from ..x86.vm import VirtualMachine
@@ -84,6 +84,9 @@ class CoordinationAgent:
         self.tunes_applied = 0
         self.triggers_applied = 0
         self.unknown_entities = 0
+        #: Triggers addressed to entities whose knob cannot boost (e.g.
+        #: ``mem:<vm>``): counted and traced, never fatal to the run.
+        self.unsupported_triggers = 0
         self._custom_handlers: dict[type, list] = {}
 
     def register_message_handler(self, message_type: type, handler) -> None:
@@ -136,7 +139,16 @@ class CoordinationAgent:
                 self.unknown_entities += 1
                 self.tracer.emit("coord", "unknown-entity", entity=str(message.entity))
                 return
-            self.island.apply_trigger(message.entity)
+            try:
+                self.island.apply_trigger(message.entity)
+            except KnobError:
+                # A Trigger addressed to a non-boostable entity (a balloon
+                # target, an egress queue, ...) is a policy mistake, not a
+                # platform fault: account it and keep the simulation alive.
+                # The knob registry already emitted the unsupported-trigger
+                # trace record and audited the rejection.
+                self.unsupported_triggers += 1
+                return
             self.triggers_applied += 1
             self._record_apply_latency(message)
         elif isinstance(message, RegisterMessage):

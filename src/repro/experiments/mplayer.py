@@ -8,7 +8,6 @@ from typing import Optional
 from ..apps.mplayer import (
     BurstProfile,
     DOM1,
-    DOM2,
     HIGH_RATE_STREAM,
     MPlayerConfig,
     deploy_mplayer,

@@ -12,8 +12,7 @@ Three arms run the RUBiS workload under the same platform conditions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass
 
 from ..apps.rubis import RubisConfig, deploy_rubis
 from ..power import CoordinatedPowerCapGovernor, LocalPowerCapGovernor, PowerMeter

@@ -14,7 +14,6 @@ from ..apps.rubis import REQUEST_TYPES, RubisConfig, deploy_rubis
 from ..apps.rubis.setup import APP_VM, DB_VM, WEB_VM
 from ..metrics import Summary, platform_efficiency
 from ..sim import seconds
-from ..testbed import TestbedConfig
 from ..x86.island import DOM0_NAME
 from .report import percent_change, render_bars, render_minmax, render_table
 from .runner import Call, run_pair

@@ -79,11 +79,15 @@ class GpuDevice:
         self.contexts[name] = context
         return context
 
+    def set_weight(self, name: str, weight: int) -> int:
+        """Set a context's runlist weight absolutely (floor 1)."""
+        context = self.contexts[name]
+        context.weight = max(1, weight)
+        return context.weight
+
     def adjust_weight(self, name: str, delta: int) -> int:
         """Tune translation: runlist service weight."""
-        context = self.contexts[name]
-        context.weight = max(1, context.weight + delta)
-        return context.weight
+        return self.set_weight(name, self.contexts[name].weight + delta)
 
     def prioritize(self, name: str) -> None:
         """Trigger translation: the context's next kernel jumps the runlist

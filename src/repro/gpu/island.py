@@ -11,13 +11,17 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..platform import EntityId, Island
+from ..platform import EntityId, Island, TriggerSpec, weight_knob
 from ..sim import Simulator, Tracer
 from .device import GpuContext, GpuDevice
 
 
 class GPUIsland(Island):
-    """GPU cores under the device runlist scheduler."""
+    """GPU cores under the device runlist scheduler.
+
+    Tune dispatches through a runlist-weight knob; Trigger is a pulse —
+    the context's next kernel jumps the runlist.
+    """
 
     def __init__(
         self,
@@ -31,23 +35,17 @@ class GPUIsland(Island):
     def create_context(self, vm_name: str, weight: int = 100) -> GpuContext:
         """Create a VM's context and register it for coordination."""
         context = self.device.create_context(vm_name, weight)
-        self.register_entity(EntityId(self.name, vm_name), context)
+        self.register_entity(
+            EntityId(self.name, vm_name),
+            context,
+            knob=weight_knob(
+                kind="runlist-weight",
+                unit="share",
+                read=lambda context=context: context.weight,
+                apply=lambda value, name=vm_name: self.device.set_weight(name, int(value)),
+                trigger=TriggerSpec(
+                    pulse=lambda name=vm_name: self.device.prioritize(name)
+                ),
+            ),
+        )
         return context
-
-    def _resolve(self, entity_id: EntityId) -> GpuContext:
-        entity = self.entity(entity_id)
-        if not isinstance(entity, GpuContext):
-            raise TypeError(f"{entity_id} is not a GPU context on island {self.name!r}")
-        return entity
-
-    def apply_tune(self, entity_id: EntityId, delta: int) -> None:
-        """Tune -> runlist weight adjustment."""
-        context = self._resolve(entity_id)
-        applied = self.device.adjust_weight(context.name, delta)
-        self.tracer.emit(self.name, "tune-applied", context=context.name, weight=applied)
-
-    def apply_trigger(self, entity_id: EntityId) -> None:
-        """Trigger -> the context's next kernel jumps the runlist."""
-        context = self._resolve(entity_id)
-        self.device.prioritize(context.name)
-        self.tracer.emit(self.name, "trigger-applied", context=context.name)

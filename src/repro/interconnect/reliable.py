@@ -32,7 +32,7 @@ guaranteed ordering under loss anyway.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..sim import Tracer, seconds, us

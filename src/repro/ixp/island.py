@@ -5,19 +5,21 @@ wire traffic into per-VM flow queues; PCI-Tx threads dequeue them — with
 tunable per-queue thread counts — and DMA descriptors into the host RX
 ring; PCI-Rx/Tx threads move host-posted packets back onto the wire. The
 island's native Tune knob is the flow-queue service weight; its Trigger is
-a transient service boost.
+a transient service boost, held as a refcounted lease so overlapping
+triggers stack and expire back to the true original weight.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..platform import EntityId, Island
+from ..platform import EntityId, Island, TriggerSpec, weight_knob
 from ..sim import Simulator, Store, Tracer
 from ..interconnect import ChannelEndpoint, MessageRing, PCIeBus
 from ..net import Link, Packet
 from .classifier import Classifier
 from .dequeue import WeightedDequeuer
+from .egress import EgressScheduler
 from .flowqueue import FlowQueue
 from .memory import BufferPool, MemoryHierarchy
 from .microengine import Microengine
@@ -69,8 +71,8 @@ class IXPIsland(Island):
             for _ in range(DEFAULT_RX_THREADS)
         ]
         if self.params.two_stage_rx:
-            from .rx import TwoStageRxPipeline
-            from .scratch import ScratchRing
+            from .rx import TwoStageRxPipeline  # noqa: PLC0415 — feature-gated, avoids cycle
+            from .scratch import ScratchRing  # noqa: PLC0415 — feature-gated, avoids cycle
 
             classify_threads = [
                 self.microengines[CLASSIFIER_MICROENGINE].allocate_thread("classify")
@@ -173,10 +175,35 @@ class IXPIsland(Island):
             tracer=self.tracer,
         )
         self.flow_queues[vm_name] = queue
-        self.register_entity(EntityId(self.name, vm_name), queue)
+        self.register_entity(
+            EntityId(self.name, vm_name),
+            queue,
+            knob=weight_knob(
+                kind="flow-service-weight",
+                unit="threads-share",
+                read=lambda queue=queue: queue.service_weight,
+                apply=lambda value, queue=queue: self._set_service_weight(queue, value),
+                trigger=TriggerSpec(
+                    # The transient boost of the paper's §3.3: doubled
+                    # weight plus one, held for four monitor periods. Held
+                    # as a lease: a second trigger before the first expiry
+                    # stacks another level instead of capturing the boosted
+                    # weight as "original" (the old restore bug).
+                    boost=lambda weight: weight * 2 + 1,
+                    hold=self.params.monitor_period * 4,
+                ),
+            ),
+        )
         if self.dequeuer is not None:
             self.dequeuer.add_queue(queue)
         return queue
+
+    def _set_service_weight(self, queue: FlowQueue, value: float) -> int:
+        """Absolute service-weight setter; re-runs the thread division."""
+        queue.service_weight = max(1, int(value))
+        if self.dequeuer is not None:
+            self.dequeuer.rebalance()
+        return queue.service_weight
 
     def _queue_for_packet(self, packet: Packet) -> Optional[FlowQueue]:
         return self.flow_queues.get(packet.dst)
@@ -187,7 +214,7 @@ class IXPIsland(Island):
 
     # -- egress QoS (Figure 3's Tx classifier/scheduler) -----------------------
 
-    def enable_egress_qos(self) -> "EgressScheduler":
+    def enable_egress_qos(self) -> EgressScheduler:
         """Insert the weighted egress scheduler on the transmit path.
 
         Outbound packets are classified per source VM and served by
@@ -195,8 +222,6 @@ class IXPIsland(Island):
         network bandwidth seen by the VM" (§2.1). Egress flows register
         as tunable entities ``egress:<vm>``.
         """
-        from .egress import EgressScheduler  # local import to avoid a cycle
-
         if self.tx is None:
             raise RuntimeError("attach_host() must be called before enabling egress QoS")
         if getattr(self, "egress", None) is not None:
@@ -212,49 +237,18 @@ class IXPIsland(Island):
             raise RuntimeError("egress QoS is not enabled")
         queue = self.egress.register_flow(vm_name, weight=weight,
                                           rate_bytes_per_s=rate_bytes_per_s)
-        self.register_entity(EntityId(self.name, f"egress:{vm_name}"), queue)
+        self.register_entity(
+            EntityId(self.name, f"egress:{vm_name}"),
+            queue,
+            knob=weight_knob(
+                kind="egress-weight",
+                unit="share",
+                read=lambda queue=queue: queue.weight,
+                apply=lambda value, name=vm_name: self._set_egress_weight(name, value),
+            ),
+        )
         return queue
 
-    # -- coordination mechanism translation ---------------------------------------
-
-    def _resolve_queue(self, entity_id: EntityId) -> FlowQueue:
-        entity = self.entity(entity_id)
-        if not isinstance(entity, FlowQueue):
-            raise TypeError(f"{entity_id} is not a flow queue on island {self.name!r}")
-        return entity
-
-    def apply_tune(self, entity_id: EntityId, delta: int) -> None:
-        """Tune -> native knob: ingress thread weights for flow queues,
-        service weight for egress queues."""
-        from .egress import EgressQueue  # local import to avoid a cycle
-
-        entity = self.entity(entity_id)
-        if isinstance(entity, EgressQueue):
-            self.egress.set_weight(entity.name, entity.weight + delta)
-            self.tracer.emit(
-                self.name, "tune-applied", egress=entity.name, weight=entity.weight
-            )
-            return
-        queue = self._resolve_queue(entity_id)
-        queue.service_weight = max(1, queue.service_weight + delta)
-        if self.dequeuer is not None:
-            self.dequeuer.rebalance()
-        self.tracer.emit(
-            self.name, "tune-applied", queue=queue.name, weight=queue.service_weight
-        )
-
-    def apply_trigger(self, entity_id: EntityId) -> None:
-        """Trigger -> transient service boost for one monitor period."""
-        queue = self._resolve_queue(entity_id)
-        original = queue.service_weight
-        queue.service_weight = original * 2 + 1
-        if self.dequeuer is not None:
-            self.dequeuer.rebalance()
-
-        def restore() -> None:
-            queue.service_weight = original
-            if self.dequeuer is not None:
-                self.dequeuer.rebalance()
-
-        self.sim.call_in(self.params.monitor_period * 4, restore)
-        self.tracer.emit(self.name, "trigger-applied", queue=queue.name)
+    def _set_egress_weight(self, vm_name: str, value: float) -> int:
+        self.egress.set_weight(vm_name, int(value))
+        return self.egress.queues[vm_name].weight

@@ -10,11 +10,11 @@ interleaves exactly the way the latency-hiding hardware does it.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from ..sim import Resource, Simulator
 from .memory import MemoryHierarchy
-from .params import IXPParams, cycles
+from .params import cycles
 
 
 class Microengine:

@@ -13,7 +13,7 @@ producers pay a scratch write, consumers a scratch read, and an optional
 from __future__ import annotations
 
 from collections import deque
-from typing import Generator, Optional
+from typing import Generator
 
 from ..sim import Event, Simulator
 from .memory import MemoryHierarchy

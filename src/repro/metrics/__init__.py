@@ -1,6 +1,7 @@
 """Measurement: summary statistics, CPU sampling, response-time recording
 and the paper's platform-efficiency metric."""
 
+from .actuation import ActuationCollector
 from .breakdown import RX_PATH_STAGES, LatencyBreakdown, StageStats
 from .channel import (
     CHANNEL_TRACE_KINDS,
@@ -20,6 +21,7 @@ from .timeline import RunInterval, SchedulingTimeline
 from .stats import OnlineStats, Summary, percentile, summarize
 
 __all__ = [
+    "ActuationCollector",
     "CHANNEL_TRACE_KINDS",
     "ChannelReliabilityCollector",
     "CpuUtilizationSampler",

@@ -1,0 +1,83 @@
+"""Actuation metrics: windowed counters over the knob registry's traces.
+
+The typed actuation layer (``repro.platform.knobs``) publishes every Tune,
+Trigger, clamp, lease release and rejection as trace records; this
+collector is the matching sink, so actuation behaviour (tune storms,
+clamp rates, trigger churn, policy mistakes) can be read off a run like
+any other throughput metric — and every scheduler change can be
+attributed to a coordination decision.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+from ..platform.knobs import ACTUATION_TRACE_KINDS
+from ..sim import Simulator, Tracer, seconds
+from .collector import TimePoint, WindowedCounter
+
+
+class ActuationCollector:
+    """Windowed counters over the actuation trace kinds.
+
+    Requires a tracer with tracing *enabled*; with tracing off, no records
+    arrive and every counter stays at zero. Besides per-kind windows, the
+    collector keeps per-entity totals of applied Tunes and Triggers so
+    experiments can answer "who actuated what, how often".
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Tracer,
+        window: int = seconds(1),
+        kinds: Iterable[str] = ACTUATION_TRACE_KINDS,
+    ):
+        self.sim = sim
+        self.counters: dict[str, WindowedCounter] = {
+            kind: WindowedCounter(sim, window=window) for kind in kinds
+        }
+        #: entity -> count of applied tunes / triggers (attribution table).
+        self.tunes_by_entity: Counter[str] = Counter()
+        self.triggers_by_entity: Counter[str] = Counter()
+        tracer.subscribe(self._on_record, kinds=list(self.counters))
+
+    def _on_record(self, record) -> None:
+        self.counters[record.kind].record()
+        entity = record.payload.get("entity")
+        if entity is None:
+            return
+        if record.kind == "tune-applied":
+            self.tunes_by_entity[entity] += 1
+        elif record.kind == "trigger-applied":
+            self.triggers_by_entity[entity] += 1
+
+    def total(self, kind: str) -> int:
+        """Cumulative count of one trace kind."""
+        return self.counters[kind].total
+
+    def totals(self) -> dict[str, int]:
+        """Cumulative count per subscribed kind."""
+        return {kind: counter.total for kind, counter in self.counters.items()}
+
+    def rate_per_second(
+        self, kind: str, start: Optional[int] = None, end: Optional[int] = None
+    ) -> float:
+        """Mean event rate of one kind over ``[start, end)``."""
+        return self.counters[kind].rate_per_second(start=start, end=end)
+
+    def series(self, kind: str) -> list[TimePoint]:
+        """Per-window counts of one kind, ascending by time."""
+        return self.counters[kind].series()
+
+    def attribution(self) -> dict[str, dict[str, int]]:
+        """Per-entity applied-actuation totals (tunes and triggers)."""
+        entities = set(self.tunes_by_entity) | set(self.triggers_by_entity)
+        return {
+            entity: {
+                "tunes": self.tunes_by_entity.get(entity, 0),
+                "triggers": self.triggers_by_entity.get(entity, 0),
+            }
+            for entity in sorted(entities)
+        }

@@ -8,12 +8,32 @@ written against; the concrete islands live in :mod:`repro.x86` and
 from .controller import GlobalController, UnknownEntityError
 from .identity import EntityId, flow_id, vm_id
 from .island import Island
+from .knobs import (
+    ACTUATION_TRACE_KINDS,
+    ActuationRecord,
+    Knob,
+    KnobError,
+    KnobRegistry,
+    TriggerSpec,
+    UnknownKnobError,
+    UnsupportedTriggerError,
+    weight_knob,
+)
 
 __all__ = [
+    "ACTUATION_TRACE_KINDS",
+    "ActuationRecord",
     "EntityId",
     "GlobalController",
     "Island",
+    "Knob",
+    "KnobError",
+    "KnobRegistry",
+    "TriggerSpec",
     "UnknownEntityError",
+    "UnknownKnobError",
+    "UnsupportedTriggerError",
     "flow_id",
     "vm_id",
+    "weight_knob",
 ]

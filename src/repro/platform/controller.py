@@ -68,6 +68,44 @@ class GlobalController:
         dead-letter behaviour that scaling to many islands requires."""
         return {name: channel.stats() for name, channel in self._channels.items()}
 
+    # -- actuation layer ----------------------------------------------------
+
+    def knob_snapshot(self) -> dict[str, dict]:
+        """Typed description of every knob registered platform-wide.
+
+        Keys are stringified entity ids (``island/name``); values carry the
+        knob kind, native unit, current value, bounds, step, trigger
+        capability and active lease count — the reflective capability
+        discovery that scaling coordination to many resource types needs.
+        """
+        snapshot: dict[str, dict] = {}
+        for island in self._islands.values():
+            registry = getattr(island, "knobs", None)
+            if registry is not None:
+                snapshot.update(registry.snapshot())
+        return snapshot
+
+    def actuation_audit(self) -> list:
+        """Every island's actuation records merged into one platform-wide
+        trail, ordered by (time, island, sequence) — who tuned what, when,
+        the requested vs. clamped-applied value, and any rejection reason."""
+        records = []
+        for island in self._islands.values():
+            registry = getattr(island, "knobs", None)
+            if registry is not None:
+                records.extend(registry.audit)
+        records.sort(key=lambda r: (r.time, r.island, r.seq))
+        return records
+
+    def actuation_stats(self) -> dict[str, dict[str, int]]:
+        """Per-island actuation counters (tunes, clamps, triggers,
+        unsupported triggers), keyed by island name."""
+        return {
+            island.name: island.knobs.stats()
+            for island in self._islands.values()
+            if getattr(island, "knobs", None) is not None
+        }
+
     # -- lookups ------------------------------------------------------------
 
     def island(self, name: str) -> Island:

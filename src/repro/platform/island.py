@@ -8,23 +8,27 @@ the "standard mechanisms and interfaces" the paper argues for.
 
 from __future__ import annotations
 
-import abc
 from typing import TYPE_CHECKING, Optional
 
 from ..sim import Simulator, Tracer
 from .identity import EntityId
+from .knobs import ActuationRecord, Knob, KnobRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .controller import GlobalController
 
 
-class Island(abc.ABC):
+class Island:
     """A resource domain with its own manager and native control knobs.
 
-    Concrete islands (x86/Xen, IXP) translate the two standard mechanisms —
-    Tune and Trigger — into whatever their local scheduler understands:
-    credit-weight adjustments for Xen, thread counts and poll intervals for
-    the IXP runtime (paper §3.3).
+    Concrete islands (x86/Xen, IXP, GPU) register a typed
+    :class:`~repro.platform.knobs.Knob` per coordination entity; the two
+    standard mechanisms — Tune and Trigger — dispatch over that registry
+    into whatever the local scheduler understands: credit-weight
+    adjustments for Xen, service weights and poll intervals for the IXP
+    runtime, runlist weights for a GPU (paper §3.3). Subclasses with
+    non-knob semantics may still override :meth:`apply_tune` /
+    :meth:`apply_trigger` directly.
     """
 
     def __init__(self, sim: Simulator, name: str, tracer: Optional[Tracer] = None):
@@ -33,6 +37,8 @@ class Island(abc.ABC):
         self.tracer = tracer or Tracer(sim, enabled=False)
         self._controller: Optional["GlobalController"] = None
         self._entities: dict[EntityId, object] = {}
+        #: The typed actuator table every Tune/Trigger dispatches over.
+        self.knobs = KnobRegistry(sim, name, tracer=self.tracer)
 
     # -- registration (paper §2.3) ----------------------------------------
 
@@ -45,11 +51,20 @@ class Island(abc.ABC):
         """The global controller, once registered."""
         return self._controller
 
-    def register_entity(self, entity_id: EntityId, entity: object) -> None:
-        """Expose ``entity`` (a VM, flow queue, ...) to coordination."""
+    def register_entity(
+        self, entity_id: EntityId, entity: object, knob: Optional[Knob] = None
+    ) -> None:
+        """Expose ``entity`` (a VM, flow queue, ...) to coordination.
+
+        ``knob``, when given, is registered alongside so Tunes and
+        Triggers addressed to the entity dispatch through the typed
+        actuation layer.
+        """
         if entity_id in self._entities:
             raise ValueError(f"entity {entity_id} already registered on island {self.name}")
         self._entities[entity_id] = entity
+        if knob is not None:
+            self.knobs.register(entity_id, knob)
         if self._controller is not None:
             self._controller.note_entity(self, entity_id)
 
@@ -67,22 +82,27 @@ class Island(abc.ABC):
 
     # -- the two standard coordination mechanisms -------------------------
 
-    @abc.abstractmethod
-    def apply_tune(self, entity_id: EntityId, delta: int) -> None:
+    def apply_tune(self, entity_id: EntityId, delta: int) -> ActuationRecord:
         """Adjust the entity's resource share by ``delta`` (native units).
 
         This is the receive side of the paper's **Tune** mechanism: a
-        ``(entity, +/- value)`` pair translated into a weight / priority /
-        poll-interval adjustment by the local scheduler.
+        ``(entity, +/- value)`` pair dispatched through the entity's typed
+        knob, which scales, clamps and applies it in the local scheduler's
+        native units.
         """
+        return self.knobs.tune(entity_id, delta)
 
-    @abc.abstractmethod
-    def apply_trigger(self, entity_id: EntityId) -> None:
+    def apply_trigger(self, entity_id: EntityId) -> ActuationRecord:
         """Give the entity CPU (or equivalent) as soon as possible.
 
         Receive side of the paper's **Trigger** mechanism, with preemptive
-        semantics (e.g. a runqueue boost in the Xen credit scheduler).
+        semantics: either a native pulse (e.g. a runqueue boost in the Xen
+        credit scheduler) or a refcounted boost lease with deterministic
+        expiry. Raises
+        :class:`~repro.platform.knobs.UnsupportedTriggerError` when the
+        entity's knob has no trigger capability.
         """
+        return self.knobs.trigger(entity_id)
 
     def __repr__(self) -> str:
         return f"<{self.__class__.__name__} {self.name!r} entities={len(self._entities)}>"

@@ -21,10 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..coordination import CoordinationAgent
+from ..platform import EntityId
 from ..sim import Simulator, Tracer, seconds
 from ..x86 import X86Island
 from .meter import PowerMeter
-from .model import next_level_down, next_level_up
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,11 +38,17 @@ class PowerReportMessage:
 
 
 class _DvfsActuator:
-    """Shared DVFS stepping logic against a wattage allowance."""
+    """Shared DVFS stepping logic against a wattage allowance.
+
+    Actuation goes through the x86 island's ``dvfs`` knob — the governor
+    is a coordination client like any policy, so every frequency step it
+    takes lands in the platform actuation audit.
+    """
 
     def __init__(self, x86: X86Island, hysteresis_w: float):
         self.x86 = x86
         self.hysteresis_w = hysteresis_w
+        self.dvfs_entity = EntityId(x86.name, "dvfs")
         self.steps_down = 0
         self.steps_up = 0
 
@@ -52,21 +58,14 @@ class _DvfsActuator:
         return self.x86.scheduler.cpus[0].speed
 
     def actuate(self, measured_w: float, allowance_w: float) -> None:
-        speed = self.current_speed
         if measured_w > allowance_w:
-            lower = next_level_down(speed)
-            if lower < speed:
-                self._set_all(lower)
+            record = self.x86.apply_tune(self.dvfs_entity, -1)
+            if record.applied_value != record.previous_value:
                 self.steps_down += 1
         elif measured_w < allowance_w - self.hysteresis_w:
-            higher = next_level_up(speed)
-            if higher > speed:
-                self._set_all(higher)
+            record = self.x86.apply_tune(self.dvfs_entity, +1)
+            if record.applied_value != record.previous_value:
                 self.steps_up += 1
-
-    def _set_all(self, speed: float) -> None:
-        for cpu in self.x86.scheduler.cpus:
-            self.x86.scheduler.set_cpu_speed(cpu.index, speed)
 
 
 class LocalPowerCapGovernor:

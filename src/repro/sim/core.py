@@ -291,7 +291,7 @@ class Simulator:
 
     def spawn(self, generator, name: str = "") -> "Process":
         """Start a new process from a generator; see :class:`Process`."""
-        from .process import Process  # local import to avoid a cycle
+        from .process import Process  # noqa: PLC0415 — local import to avoid a cycle
 
         return Process(self, generator, name=name)
 

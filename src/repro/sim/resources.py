@@ -9,7 +9,6 @@ returned request when done; a ``with``-style helper is provided through
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
 
 from .core import Event, Simulator
 

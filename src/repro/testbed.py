@@ -9,7 +9,7 @@ models then only need :meth:`create_guest_vm` and :meth:`add_client_host`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .coordination import MESSAGE_HANDLING_COST, CoordinationAgent

@@ -18,7 +18,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
-from ..sim import Event, Simulator, Tracer, ms, us
+from ..sim import Event, Simulator, Tracer, ms
 from .vm import VirtualMachine
 
 
@@ -102,12 +102,16 @@ class WeightedIOScheduler:
         self.queues[vm_name] = queue
         return queue
 
-    def adjust_weight(self, vm_name: str, delta: int) -> int:
-        """Tune translation: shift a VM's I/O weight; returns the result."""
+    def set_weight(self, vm_name: str, weight: int) -> int:
+        """Set a VM's I/O weight absolutely (floor 1); returns the result."""
         queue = self.queues[vm_name]
-        queue.weight = max(1, queue.weight + delta)
+        queue.weight = max(1, weight)
         self.tracer.emit("io-sched", "weight", vm=vm_name, weight=queue.weight)
         return queue.weight
+
+    def adjust_weight(self, vm_name: str, delta: int) -> int:
+        """Tune translation: shift a VM's I/O weight; returns the result."""
+        return self.set_weight(vm_name, self.queues[vm_name].weight + delta)
 
     def set_poll_interval(self, interval: int) -> None:
         """Tune translation: adjust the dispatcher's poll time."""

@@ -2,26 +2,36 @@
 
 This is one of the two islands of the paper's prototype (§2.2): a multicore
 x86 host virtualised with Xen, its resources managed by the credit
-scheduler and the privileged controller domain Dom0. The island translates
-the standard coordination mechanisms into its native knobs:
+scheduler and the privileged controller domain Dom0. The island registers
+a typed knob per entity, so the standard coordination mechanisms dispatch
+into its native controls:
 
-* **Tune(vm, ±delta)** -> XenCtrl credit-weight adjustment;
-* **Trigger(vm)**      -> runqueue boost.
+* **Tune(vm, ±delta)**        -> XenCtrl credit-weight adjustment;
+* **Trigger(vm)**             -> runqueue boost (pulse);
+* **Tune(disk:vm, ±delta)**   -> disk DRR weight;
+* **Tune(disk, ±delta µs)**   -> I/O dispatcher poll interval;
+* **Tune(mem:vm, ±delta MB)** -> balloon allocation;
+* **Tune(dvfs, ±steps)**      -> platform DVFS ladder level.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..platform import EntityId, Island
+from ..platform import EntityId, Island, Knob, TriggerSpec, weight_knob
 from ..sim import Simulator, Tracer
 from .credit import CreditScheduler
+from .diskio import DiskInterface, WeightedIOScheduler
+from .memory import BalloonDriver, BalloonTarget
 from .params import X86Params
 from .vm import VirtualMachine
-from .xenctrl import XenCtl
+from .xenctrl import MAX_WEIGHT, MIN_WEIGHT, XenCtl
 
 #: Conventional name of the privileged controller domain.
 DOM0_NAME = "Domain-0"
+
+#: The platform DVFS ladder, slowest first (fractions of nominal speed).
+DVFS_LADDER = (0.55, 0.7, 0.85, 1.0)
 
 
 class X86Island(Island):
@@ -50,6 +60,41 @@ class X86Island(Island):
         self.scheduler.add_domain(self.dom0)
         self.xenctl = XenCtl(sim, self.scheduler, dom0=self.dom0, tracer=self.tracer)
         self._vms: dict[str, VirtualMachine] = {DOM0_NAME: self.dom0}
+        # The all-core DVFS ladder is a platform knob from birth: power
+        # governors Tune it (±1 = one ladder step) like any other actuator.
+        self.register_entity(
+            EntityId(self.name, "dvfs"),
+            self.scheduler,
+            knob=Knob(
+                kind="dvfs-level",
+                unit="ladder-index",
+                read=self._dvfs_level,
+                apply=self._set_dvfs_level,
+                minimum=0,
+                maximum=len(DVFS_LADDER) - 1,
+                trigger=TriggerSpec(pulse=self._dvfs_to_nominal),
+            ),
+        )
+
+    # -- DVFS (all cores stepped together) ----------------------------------
+
+    def _dvfs_level(self) -> int:
+        """Current ladder index of core 0 (all cores step together)."""
+        speed = self.scheduler.cpus[0].speed
+        return min(
+            range(len(DVFS_LADDER)), key=lambda i: abs(DVFS_LADDER[i] - speed)
+        )
+
+    def _set_dvfs_level(self, level: float) -> int:
+        index = max(0, min(len(DVFS_LADDER) - 1, int(round(level))))
+        speed = DVFS_LADDER[index]
+        for cpu in self.scheduler.cpus:
+            self.scheduler.set_cpu_speed(cpu.index, speed)
+        return index
+
+    def _dvfs_to_nominal(self) -> None:
+        """Trigger translation: jump every core to nominal frequency."""
+        self._set_dvfs_level(len(DVFS_LADDER) - 1)
 
     # -- domain lifecycle ---------------------------------------------------
 
@@ -68,7 +113,19 @@ class X86Island(Island):
         )
         self.scheduler.add_domain(vm)
         self._vms[name] = vm
-        self.register_entity(EntityId(self.name, name), vm)
+        self.register_entity(
+            EntityId(self.name, name),
+            vm,
+            knob=Knob(
+                kind="credit-weight",
+                unit="credits",
+                read=lambda vm=vm: vm.weight,
+                apply=lambda value, vm=vm: self.xenctl.set_weight(vm, int(value)),
+                minimum=MIN_WEIGHT,
+                maximum=MAX_WEIGHT,
+                trigger=TriggerSpec(pulse=lambda vm=vm: self.xenctl.boost(vm)),
+            ),
+        )
         self.tracer.emit(self.name, "vm-created", vm=name, weight=vm.weight)
         return vm
 
@@ -86,7 +143,7 @@ class X86Island(Island):
 
     # -- optional shared disk ----------------------------------------------
 
-    def attach_disk(self, scheduler) -> None:
+    def attach_disk(self, scheduler: WeightedIOScheduler) -> None:
         """Attach a :class:`~repro.x86.diskio.WeightedIOScheduler`.
 
         Per-VM I/O queues created afterwards register as tunable entities
@@ -96,79 +153,66 @@ class X86Island(Island):
         scheduler" (§3.3).
         """
         self.disk = scheduler
-        self.register_entity(EntityId(self.name, "disk"), scheduler)
+        self.register_entity(
+            EntityId(self.name, "disk"),
+            scheduler,
+            knob=Knob(
+                kind="io-poll-interval",
+                unit="ns",
+                read=lambda: scheduler.poll_interval,
+                apply=self._apply_poll_interval,
+                minimum=0,
+                step=1000,  # Tune deltas are in microseconds
+            ),
+        )
 
-    def create_disk_interface(self, vm: VirtualMachine, weight: int = 100):
+    def _apply_poll_interval(self, value: float) -> int:
+        interval = max(0, int(value))
+        self.disk.set_poll_interval(interval)
+        return interval
+
+    def create_disk_interface(self, vm: VirtualMachine, weight: int = 100) -> DiskInterface:
         """Give a domain a queue on the shared disk (requires attach_disk)."""
-        from .diskio import DiskInterface  # local import to avoid a cycle
-
         if getattr(self, "disk", None) is None:
             raise RuntimeError("no disk attached to this island")
         interface = DiskInterface(self.disk, vm, weight=weight)
-        self.register_entity(EntityId(self.name, f"disk:{vm.name}"), interface.queue)
+        queue = interface.queue
+        self.register_entity(
+            EntityId(self.name, f"disk:{vm.name}"),
+            queue,
+            knob=weight_knob(
+                kind="io-weight",
+                unit="share",
+                read=lambda queue=queue: queue.weight,
+                apply=lambda value, name=vm.name: self.disk.set_weight(name, int(value)),
+            ),
+        )
         return interface
 
     # -- optional balloon driver ----------------------------------------------
 
-    def attach_balloon(self, driver) -> None:
+    def attach_balloon(self, driver: BalloonDriver) -> None:
         """Attach a :class:`~repro.x86.memory.BalloonDriver`."""
         self.balloon = driver
 
     def balloon_manage(self, vm: VirtualMachine, working_set_mb=None) -> None:
         """Put a domain under balloon management and expose its memory
         allocation as the tunable entity ``mem:<vm>`` (delta in MB)."""
-        from .memory import BalloonTarget  # local import to avoid a cycle
-
         if getattr(self, "balloon", None) is None:
             raise RuntimeError("no balloon driver attached to this island")
         self.balloon.manage(vm, working_set_mb)
         self.register_entity(
-            EntityId(self.name, f"mem:{vm.name}"), BalloonTarget(self.balloon, vm.name)
+            EntityId(self.name, f"mem:{vm.name}"),
+            BalloonTarget(self.balloon, vm.name),
+            knob=Knob(
+                kind="memory-allocation",
+                unit="MB",
+                read=lambda vm=vm: vm.memory_mb,
+                # adjust() enforces the dynamic ceiling (free physical
+                # memory), so the knob only pins the static floor.
+                apply=lambda value, vm=vm: self.balloon.adjust(
+                    vm.name, int(value) - vm.memory_mb
+                ),
+                minimum=self.balloon.min_allocation_mb,
+            ),
         )
-
-    # -- coordination mechanism translation -----------------------------------
-
-    def _resolve(self, entity_id: EntityId) -> VirtualMachine:
-        entity = self.entity(entity_id)
-        if not isinstance(entity, VirtualMachine):
-            raise TypeError(f"{entity_id} is not a VM on island {self.name!r}")
-        return entity
-
-    def apply_tune(self, entity_id: EntityId, delta: int) -> None:
-        """Tune -> native knob: credit weight for VMs, scheduler weight
-        for disk I/O queues."""
-        from .diskio import IOQueue, WeightedIOScheduler  # avoid a cycle
-
-        entity = self.entity(entity_id)
-        if isinstance(entity, IOQueue):
-            applied = self.disk.adjust_weight(entity.vm_name, delta)
-            self.tracer.emit(
-                self.name, "tune-applied", io_queue=entity.vm_name,
-                delta=delta, weight=applied,
-            )
-            return
-        if isinstance(entity, WeightedIOScheduler):
-            # Delta is in microseconds of poll interval (+/-).
-            new_interval = max(0, entity.poll_interval + delta * 1000)
-            entity.set_poll_interval(new_interval)
-            self.tracer.emit(
-                self.name, "tune-applied", io_poll_interval=new_interval, delta=delta
-            )
-            return
-        from .memory import BalloonTarget  # local import to avoid a cycle
-
-        if isinstance(entity, BalloonTarget):
-            applied = entity.driver.adjust(entity.vm_name, delta)
-            self.tracer.emit(
-                self.name, "tune-applied", balloon=entity.vm_name, size_mb=applied
-            )
-            return
-        vm = self._resolve(entity_id)
-        applied = self.xenctl.adjust_weight(vm, delta)
-        self.tracer.emit(self.name, "tune-applied", vm=vm.name, delta=delta, weight=applied)
-
-    def apply_trigger(self, entity_id: EntityId) -> None:
-        """Trigger -> immediate runqueue boost through XenCtrl."""
-        vm = self._resolve(entity_id)
-        self.xenctl.boost(vm)
-        self.tracer.emit(self.name, "trigger-applied", vm=vm.name)

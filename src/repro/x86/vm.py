@@ -64,7 +64,7 @@ class VirtualMachine:
         # Wake only as many VCPUs as there are unclaimed items: a single
         # serial workload (one kernel thread) must occupy one VCPU, not
         # keep every VCPU of the domain hot.
-        from .vcpu import VCPUState  # local import to avoid cycle at module load
+        from .vcpu import VCPUState  # noqa: PLC0415 — avoids cycle at module load
 
         needed = sum(1 for item in self.guest._items if item.owner is None)
         for vcpu in self.vcpus:

@@ -1,12 +1,10 @@
 """Tests for the streaming server's pacing/bursts and the player's
 frame assembly and skipping."""
 
-import pytest
 
 from repro.apps.mplayer import (
     BurstProfile,
     DOM1,
-    HIGH_RATE_STREAM,
     LOW_RATE_STREAM,
     MPlayerConfig,
     deploy_mplayer,

@@ -1,6 +1,5 @@
 """Tests for the RUBiS application model."""
 
-import pytest
 
 from repro.apps.rubis import (
     BIDDING_MIX,

@@ -1,8 +1,7 @@
 """Tests for the RUBiS client's global phase machinery and bookkeeping."""
 
 from repro.apps.rubis import BIDDING_MIX, BROWSING_MIX, RubisConfig, deploy_rubis
-from repro.apps.rubis.client import RubisClient
-from repro.apps.rubis.workload import PhaseSpec, WorkloadMix
+from repro.apps.rubis.workload import PhaseSpec
 from dataclasses import replace
 
 from repro.sim import ms, seconds

@@ -8,12 +8,11 @@ from repro.coordination import (
     RequestTypeTunePolicy,
     StreamQoSTunePolicy,
     TierEntities,
-    TriggerMessage,
     TuneMessage,
 )
 from repro.coordination.mplayer_policy import STAGE_BITRATE, STAGE_FRAMERATE, STAGE_OFF
-from repro.interconnect import CoordinationChannel, MessageRing, PCIeBus
-from repro.ixp import IXPIsland, classify_by_destination
+from repro.interconnect import CoordinationChannel
+from repro.ixp import IXPIsland
 from repro.net import Packet
 from repro.platform import EntityId
 from repro.sim import Simulator, ms, seconds, us

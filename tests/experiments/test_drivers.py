@@ -16,7 +16,6 @@ from repro.experiments import (
     render_table1,
     render_table2,
     render_table3,
-    run_qos_ladder,
     run_rubis_pair,
 )
 from repro.experiments.mplayer import QoSLadderResult, TriggerPairResult, TriggerRunResult

@@ -7,7 +7,6 @@ working and the policies re-converge.
 """
 
 import pytest
-from dataclasses import replace
 
 from repro.apps.rubis import RubisConfig, deploy_rubis
 from repro.interconnect import CoordinationChannel

@@ -8,7 +8,7 @@ experiments complete with sane statistics — stale weights, never crashes.
 
 import math
 
-from repro.apps.mplayer import DOM1, DOM2, MPlayerConfig, deploy_mplayer
+from repro.apps.mplayer import MPlayerConfig, deploy_mplayer
 from repro.apps.rubis import RubisConfig, deploy_rubis
 from repro.coordination.mplayer_policy import STAGE_BITRATE
 from repro.sim import ms, seconds

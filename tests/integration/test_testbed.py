@@ -5,7 +5,7 @@ import pytest
 from repro import Testbed, TestbedConfig
 from repro.net import Packet
 from repro.platform import EntityId
-from repro.sim import ms, seconds, us
+from repro.sim import ms, seconds
 
 
 def echo_vm(testbed, vm, nic):

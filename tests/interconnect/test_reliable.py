@@ -8,9 +8,8 @@ from repro.interconnect import (
     DataFrame,
     ReliableChannel,
     ReliableConfig,
-    ReliableEndpoint,
 )
-from repro.sim import RandomStreams, Simulator, TraceLog, Tracer, ms, seconds, us
+from repro.sim import RandomStreams, Simulator, TraceLog, Tracer, ms, us
 
 
 def build_reliable(sim, loss=0.0, seed=11, latency=us(100), config=None, tracer=None):

@@ -1,6 +1,5 @@
 """Edge cases of the weighted dequeue engine's thread apportionment."""
 
-import pytest
 
 from repro.interconnect import MessageRing, PCIeBus
 from repro.ixp import IXPIsland, IXPParams

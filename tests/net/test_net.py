@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net import MTU_BYTES, DuplexLink, Link, Packet, VirtualNIC, XenBridge, fragment
-from repro.sim import Simulator, Store, ms, seconds, us
+from repro.sim import Simulator, ms, us
 from repro.x86 import CreditScheduler, VirtualMachine
 
 

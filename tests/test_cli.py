@@ -23,7 +23,6 @@ def test_requires_a_command():
 
 
 def test_option_parsing_defaults():
-    import argparse
 
     # Smoke the parser wiring by reaching into main's parser via a dry run.
     with pytest.raises(SystemExit):

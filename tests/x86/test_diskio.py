@@ -5,7 +5,7 @@ import pytest
 from repro.platform import EntityId
 from repro.sim import Simulator, ms, seconds
 from repro.x86 import X86Island
-from repro.x86.diskio import DiskInterface, DiskParams, WeightedIOScheduler
+from repro.x86.diskio import DiskParams, WeightedIOScheduler
 
 
 def make_host():
