@@ -15,7 +15,7 @@ multi-second extremes. Two findings are asserted:
 from repro.apps.rubis import RubisConfig
 from repro.experiments import Call, render_table, run_calls, run_rubis
 from repro.sim import ms, seconds, us
-from repro.testbed import TestbedConfig
+from repro.testbed import ChannelConfig, TestbedConfig
 
 from _shared import emit, get_rubis_pair
 
@@ -24,7 +24,7 @@ LATENCIES = (us(150), ms(5), ms(50), seconds(3))
 
 def run_arm(latency: int):
     config = RubisConfig(
-        testbed=TestbedConfig(driver_poll_burn_duty=0.5, channel_latency=latency)
+        testbed=TestbedConfig(driver_poll_burn_duty=0.5, channel=ChannelConfig(latency=latency))
     )
     return run_rubis(True, duration=seconds(40), config=config)
 

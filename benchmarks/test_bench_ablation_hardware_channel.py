@@ -19,7 +19,7 @@ from repro.apps.rubis.setup import deploy_rubis
 from repro.experiments import render_table
 from repro.metrics import summarize
 from repro.sim import seconds
-from repro.testbed import TestbedConfig
+from repro.testbed import ChannelConfig, TestbedConfig
 
 from _shared import emit
 
@@ -28,7 +28,7 @@ def run_arm(hardware: bool):
     config = RubisConfig(
         coordinated=True,
         testbed=TestbedConfig(
-            driver_poll_burn_duty=0.5, hardware_coordination=hardware
+            driver_poll_burn_duty=0.5, channel=ChannelConfig(hardware=hardware)
         ),
     )
     deployment = deploy_rubis(config)

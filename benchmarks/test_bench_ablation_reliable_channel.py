@@ -17,7 +17,7 @@ and a swept retry budget. Three findings are asserted:
 from repro.apps.rubis import RubisConfig
 from repro.experiments import Call, render_table, run_calls, run_rubis
 from repro.sim import seconds
-from repro.testbed import TestbedConfig
+from repro.testbed import ChannelConfig, TestbedConfig
 
 from _shared import emit
 
@@ -29,9 +29,9 @@ def run_arm(loss: float, budget: int):
     config = RubisConfig(
         testbed=TestbedConfig(
             driver_poll_burn_duty=0.5,
-            channel_loss_probability=loss,
-            reliable=True,
-            reliable_max_retries=budget,
+            channel=ChannelConfig(
+                loss_probability=loss, reliable=True, reliable_max_retries=budget
+            ),
         )
     )
     return run_rubis(True, duration=seconds(30), config=config)

@@ -27,11 +27,12 @@ or run a whole paper experiment::
 """
 
 from .platform import EntityId, GlobalController, Island
-from .testbed import ClientHost, Testbed, TestbedConfig
+from .testbed import ChannelConfig, ClientHost, Testbed, TestbedConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChannelConfig",
     "ClientHost",
     "EntityId",
     "GlobalController",

@@ -7,13 +7,20 @@ Usage::
     python -m repro mplayer-qos          # Figure 6
     python -m repro buffer-trigger       # Figure 7 + Table 3
     python -m repro power-cap [--cap W]  # extension experiment
+    python -m repro trace [--out F]      # traced run -> chrome://tracing JSON
     python -m repro all                  # everything (several minutes)
 
 Options::
 
-    --seed N        experiment seed (default 1)
-    --duration S    measured seconds per RUBiS arm (default 80)
-    --cap W         platform power cap for power-cap (default 48)
+    --seed N            experiment seed (default 1)
+    --duration S        measured seconds per RUBiS arm (default 80)
+    --cap W             platform power cap for power-cap (default 48)
+    --out F             Chrome-trace output path for trace (default trace.json)
+    --trace-duration S  measured seconds of the traced arm (default 12)
+
+Commands are looked up in the experiment registry
+(:mod:`repro.experiments.registry`); adding an experiment is one
+``@experiment(...)`` decoration, and ``list``/``all`` derive from it.
 """
 
 from __future__ import annotations
@@ -22,6 +29,11 @@ import argparse
 import sys
 
 from .experiments import (
+    all_experiments,
+    experiment,
+    get,
+    names,
+    render_control_loops,
     render_figure2,
     render_figure4,
     render_figure5,
@@ -34,6 +46,7 @@ from .experiments import (
     run_power_cap,
     run_qos_ladder,
     run_rubis_pair,
+    run_traced_rubis,
     run_trigger_pair,
 )
 from .sim import seconds
@@ -45,6 +58,8 @@ def _emit(*artefacts: str) -> None:
         print(artefact)
 
 
+@experiment("rubis", help="Tables 1-2, Figures 2/4/5 (paired RUBiS run)",
+            artefacts=("figure2", "figure4", "table1", "table2", "figure5"))
 def cmd_rubis(args) -> None:
     pair = run_rubis_pair(duration=seconds(args.duration), seed=args.seed)
     _emit(
@@ -56,25 +71,39 @@ def cmd_rubis(args) -> None:
     )
 
 
+@experiment("mplayer-qos", help="Figure 6 (stream-QoS weight ladder)",
+            artefacts=("figure6",))
 def cmd_mplayer_qos(args) -> None:
     _emit(render_figure6(run_qos_ladder(seed=args.seed)))
 
 
+@experiment("buffer-trigger", help="Figure 7 + Table 3 (buffer-monitor triggers)",
+            artefacts=("figure7", "table3"))
 def cmd_buffer_trigger(args) -> None:
     pair = run_trigger_pair(seed=args.seed)
     _emit(render_figure7(pair), render_table3(pair))
 
 
+@experiment("power-cap", help="Extension: coordinated platform power capping",
+            artefacts=("power-cap",))
 def cmd_power_cap(args) -> None:
     _emit(render_power_cap(run_power_cap(cap_w=args.cap, seed=args.seed)))
 
 
-COMMANDS = {
-    "rubis": cmd_rubis,
-    "mplayer-qos": cmd_mplayer_qos,
-    "buffer-trigger": cmd_buffer_trigger,
-    "power-cap": cmd_power_cap,
-}
+@experiment("trace", help="Causally-traced run -> chrome://tracing JSON + "
+            "control-loop latency breakdown",
+            artefacts=("control-loops",), in_all=False)
+def cmd_trace(args) -> None:
+    result = run_traced_rubis(
+        duration=seconds(args.trace_duration),
+        seed=args.seed,
+        destination=args.out,
+    )
+    _emit(render_control_loops(result))
+
+
+#: Back-compat view of the registry (older tooling imported this table).
+COMMANDS = {exp.name: exp.run for exp in all_experiments()}
 
 
 def main(argv=None) -> int:
@@ -82,24 +111,31 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Reproduce the paper's tables and figures.",
     )
-    parser.add_argument("command", choices=[*COMMANDS, "all", "list"])
+    parser.add_argument("command", choices=[*names(), "all", "list"])
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--duration", type=float, default=80.0,
                         help="measured seconds per RUBiS arm")
     parser.add_argument("--cap", type=float, default=48.0,
                         help="platform power cap in watts")
+    parser.add_argument("--out", default="trace.json",
+                        help="Chrome-trace output path (trace command)")
+    parser.add_argument("--trace-duration", type=float, default=12.0,
+                        help="measured seconds of the traced arm")
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for name in COMMANDS:
-            print(name)
+        width = max(len(name) for name in names())
+        for exp in all_experiments():
+            print(f"{exp.name:<{width}}  {exp.help}")
         return 0
     if args.command == "all":
-        for name, command in COMMANDS.items():
-            print(f"\n### {name} " + "#" * max(0, 60 - len(name)))
-            command(args)
+        for exp in all_experiments():
+            if not exp.in_all:
+                continue
+            print(f"\n### {exp.name} " + "#" * max(0, 60 - len(exp.name)))
+            exp.run(args)
         return 0
-    COMMANDS[args.command](args)
+    get(args.command).run(args)
     return 0
 
 

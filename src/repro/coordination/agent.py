@@ -36,16 +36,24 @@ def tune_coalesce_merge(pending: TuneMessage, new: TuneMessage):
 
     Deltas add (they are relative adjustments), the earliest send timestamp
     is kept so apply-latency accounting reflects the oldest queued intent,
-    and a zero combined delta cancels the pending frame outright.
+    and a zero combined delta cancels the pending frame outright. The new
+    message's span survives as the merged frame's identity, absorbing the
+    pending span as a merged parent — when the merged frame is applied,
+    both originating decisions are attributed.
     """
     delta = pending.delta + new.delta
     if delta == 0:
         return None
+    if new.span is not None and pending.span is not None:
+        span = new.span.absorbing(pending.span)
+    else:
+        span = new.span if new.span is not None else pending.span
     return TuneMessage(
         entity=pending.entity,
         delta=delta,
         reason=new.reason or pending.reason,
         sent_at=pending.sent_at if pending.sent_at >= 0 else new.sent_at,
+        span=span,
     )
 
 
@@ -87,6 +95,9 @@ class CoordinationAgent:
         #: Triggers addressed to entities whose knob cannot boost (e.g.
         #: ``mem:<vm>``): counted and traced, never fatal to the run.
         self.unsupported_triggers = 0
+        #: Applied messages whose ``sent_at`` was the -1 sentinel (built
+        #: outside an agent): skipped from ``apply_latencies``, not lost.
+        self.untimestamped_applies = 0
         self._custom_handlers: dict[type, list] = {}
 
     def register_message_handler(self, message_type: type, handler) -> None:
@@ -100,21 +111,44 @@ class CoordinationAgent:
 
     # -- send helpers ---------------------------------------------------------
 
-    def send_tune(self, entity, delta: int, reason: str = "") -> None:
-        """Request a resource adjustment on the remote island."""
+    def send_tune(self, entity, delta: int, reason: str = "", span=None) -> None:
+        """Request a resource adjustment on the remote island.
+
+        ``span`` is the minting policy's causal span (None when tracing is
+        off); it rides inside the message to the remote knob registry.
+        """
+        if span is not None and self.tracer.wants("span-sent"):
+            self.tracer.emit(
+                "coord", "span-sent", trace=span.trace_id, span=span.span_id,
+                frm=self.endpoint.name,
+            )
         self.endpoint.send(
-            TuneMessage(entity=entity, delta=delta, reason=reason, sent_at=self.sim.now)
+            TuneMessage(
+                entity=entity, delta=delta, reason=reason, sent_at=self.sim.now,
+                span=span,
+            )
         )
 
-    def send_trigger(self, entity, reason: str = "") -> None:
+    def send_trigger(self, entity, reason: str = "", span=None) -> None:
         """Request immediate resource allocation on the remote island."""
+        if span is not None and self.tracer.wants("span-sent"):
+            self.tracer.emit(
+                "coord", "span-sent", trace=span.trace_id, span=span.span_id,
+                frm=self.endpoint.name,
+            )
         self.endpoint.send(
-            TriggerMessage(entity=entity, reason=reason, sent_at=self.sim.now)
+            TriggerMessage(entity=entity, reason=reason, sent_at=self.sim.now, span=span)
         )
 
     # -- receive path ------------------------------------------------------------
 
     def _on_message(self, message) -> None:
+        span = getattr(message, "span", None)
+        if span is not None and self.tracer.wants("span-recv"):
+            self.tracer.emit(
+                "coord", "span-recv", trace=span.trace_id, span=span.span_id,
+                at=self.endpoint.name,
+            )
         if self.handler_vm is not None and self.handling_cost > 0:
             # Pay the handling cost first, then apply: spawn a tiny process.
             self.sim.spawn(self._handle_with_cost(message), name="coord-agent-handle")
@@ -126,12 +160,18 @@ class CoordinationAgent:
         self._apply(message)
 
     def _apply(self, message) -> None:
+        span = getattr(message, "span", None)
+        if span is not None and self.tracer.wants("span-handle"):
+            self.tracer.emit(
+                "coord", "span-handle", trace=span.trace_id, span=span.span_id,
+                at=self.endpoint.name,
+            )
         if isinstance(message, TuneMessage):
             if not self.island.has_entity(message.entity):
                 self.unknown_entities += 1
                 self.tracer.emit("coord", "unknown-entity", entity=str(message.entity))
                 return
-            self.island.apply_tune(message.entity, message.delta)
+            self.island.apply_tune(message.entity, message.delta, span=span)
             self.tunes_applied += 1
             self._record_apply_latency(message)
         elif isinstance(message, TriggerMessage):
@@ -140,7 +180,7 @@ class CoordinationAgent:
                 self.tracer.emit("coord", "unknown-entity", entity=str(message.entity))
                 return
             try:
-                self.island.apply_trigger(message.entity)
+                self.island.apply_trigger(message.entity, span=span)
             except KnobError:
                 # A Trigger addressed to a non-boostable entity (a balloon
                 # target, an egress queue, ...) is a policy mistake, not a
@@ -164,10 +204,19 @@ class CoordinationAgent:
             self._record_apply_latency(message)
 
     def _record_apply_latency(self, message) -> None:
-        """Account end-to-end latency for a message that took effect."""
+        """Account end-to-end latency for a message that took effect.
+
+        Messages constructed outside an agent carry the ``sent_at = -1``
+        sentinel (as do custom message types without the field); recording
+        ``now - (-1)`` would poison the latency distribution with bogus
+        near-``now`` values, so they are skipped and counted instead.
+        """
         sent_at = getattr(message, "sent_at", -1)
-        if sent_at >= 0:
-            self.apply_latencies.append(self.sim.now - sent_at)
+        if sent_at < 0:
+            self.untimestamped_applies += 1
+            self.tracer.emit("coord", "untimestamped-apply", message=repr(message))
+            return
+        self.apply_latencies.append(self.sim.now - sent_at)
 
     def channel_stats(self) -> dict[str, int]:
         """Reliability counters of this agent's endpoint (empty when the

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs import SpanMinter
 from ..platform import EntityId
 from ..sim import Simulator, Tracer, ms
 from ..ixp.island import IXPIsland
@@ -46,6 +47,7 @@ class BufferMonitorTriggerPolicy:
         self.threshold_bytes = threshold_bytes
         self.cooldown = cooldown
         self.tracer = tracer or Tracer(sim, enabled=False)
+        self._minter = SpanMinter.shared(self.tracer)
         self._last_trigger: dict[str, int] = {}
         self.triggers_sent = 0
         #: (time, vm, occupancy) log of fired triggers, for Figure 7.
@@ -66,7 +68,13 @@ class BufferMonitorTriggerPolicy:
             self._last_trigger[vm_name] = self.sim.now
             self.triggers_sent += 1
             self.trigger_log.append((self.sim.now, vm_name, occupancy))
-            self.agent.send_trigger(entity, reason=f"buffer={occupancy}B")
+            span = None
+            if self._minter.active:
+                span = self._minter.mint(
+                    "buffer-monitor", entity=str(entity), reason="buffer-threshold",
+                    op="trigger", vm=vm_name, occupancy=occupancy,
+                )
+            self.agent.send_trigger(entity, reason=f"buffer={occupancy}B", span=span)
             self.tracer.emit(
                 "buffer-monitor", "trigger", vm=vm_name, occupancy=occupancy
             )

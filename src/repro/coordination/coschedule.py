@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs import SpanMinter
 from ..platform import EntityId
 from ..sim import Simulator, Tracer
 from ..gpu.island import GPUIsland
@@ -45,6 +46,7 @@ class GpuCoschedulePolicy:
         self.agent = agent
         self.vm_entities = vm_entities
         self.tracer = tracer or Tracer(sim, enabled=False)
+        self._minter = SpanMinter.shared(self.tracer)
         self.triggers_sent = 0
         gpu.device.on_kernel_complete = self._on_kernel_complete
 
@@ -53,5 +55,11 @@ class GpuCoschedulePolicy:
         if entity is None:
             return
         self.triggers_sent += 1
-        self.agent.send_trigger(entity, reason="kernel-complete")
+        span = None
+        if self._minter.active:
+            span = self._minter.mint(
+                "cosched", entity=str(entity), reason="kernel-complete",
+                op="trigger", context=context_name,
+            )
+        self.agent.send_trigger(entity, reason="kernel-complete", span=span)
         self.tracer.emit("cosched", "trigger", context=context_name)

@@ -16,7 +16,9 @@ Registration messages implement §2.3's boot-time entity registration.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from ..obs import SpanContext
 from ..platform import EntityId
 
 
@@ -33,6 +35,10 @@ class TuneMessage:
     #: receive side can measure end-to-end application latency. -1 when
     #: constructed outside an agent.
     sent_at: int = -1
+    #: Causal span of the policy decision that produced this message,
+    #: propagated by value to the receiving island (None when tracing is
+    #: off — the zero-cost default).
+    span: Optional[SpanContext] = None
 
     def __repr__(self) -> str:
         sign = "+" if self.delta >= 0 else ""
@@ -47,6 +53,8 @@ class TriggerMessage:
     reason: str = ""
     #: Send timestamp (simulation ns); see :class:`TuneMessage.sent_at`.
     sent_at: int = -1
+    #: Causal span of the policy decision; see :class:`TuneMessage.span`.
+    span: Optional[SpanContext] = None
 
     def __repr__(self) -> str:
         return f"Trigger({self.entity}, {self.reason!r})"

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs import SpanMinter
 from ..platform import EntityId
 from ..sim import Simulator, Tracer
 from ..ixp.island import IXPIsland
@@ -91,6 +92,7 @@ class StreamQoSTunePolicy:
         self.framerate_delta = framerate_delta
         self.tandem_ixp_threads = tandem_ixp_threads
         self.tracer = tracer or Tracer(sim, enabled=False)
+        self._minter = SpanMinter.shared(self.tracer)
         self.streams: dict[str, StreamState] = {}
         self._shadow: dict[str, int] = {}
         self._ixp_tandem_applied: set[str] = set()
@@ -145,11 +147,18 @@ class StreamQoSTunePolicy:
         target = self.target_weight(state)
         current = self._shadow[vm_name]
         delta = target - current
+        reason = f"stream-qos:{self.stage}"
         if delta != 0:
             self._shadow[vm_name] = target
             self.tunes_sent += 1
+            span = None
+            if self._minter.active:
+                span = self._minter.mint(
+                    "mplayer-policy", entity=str(self.vm_entities[vm_name]),
+                    reason=reason, op="tune", vm=vm_name,
+                )
             self.agent.send_tune(
-                self.vm_entities[vm_name], delta, reason=f"stream-qos:{self.stage}"
+                self.vm_entities[vm_name], delta, reason=reason, span=span
             )
         if (
             self.stage == STAGE_FRAMERATE
@@ -160,7 +169,15 @@ class StreamQoSTunePolicy:
             # Domain-2 receive queue in tandem."
             ixp_entity = EntityId(self.ixp.name, vm_name)
             if self.ixp.has_entity(ixp_entity):
-                self.ixp.apply_tune(ixp_entity, self.tandem_ixp_threads)
+                tandem_span = None
+                if self._minter.active:
+                    tandem_span = self._minter.mint(
+                        "mplayer-policy", entity=str(ixp_entity),
+                        reason=f"{reason}:tandem", op="tune", vm=vm_name,
+                    )
+                self.ixp.apply_tune(
+                    ixp_entity, self.tandem_ixp_threads, span=tandem_span
+                )
                 self._ixp_tandem_applied.add(vm_name)
         self.tracer.emit(
             "mplayer-policy", "actuated", vm=vm_name, stage=self.stage, target=target

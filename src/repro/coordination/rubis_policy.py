@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import SpanMinter
 from ..platform import EntityId
 from ..sim import Simulator, Tracer
 from ..ixp.island import IXPIsland
@@ -90,6 +91,9 @@ class RequestTypeTunePolicy:
         self.read_profile = read_profile
         self.write_profile = write_profile
         self.tracer = tracer or Tracer(sim, enabled=False)
+        #: Platform-shared span minter: every steering decision roots a
+        #: causal span linking the classified packet to the remote apply.
+        self._minter = SpanMinter.shared(self.tracer)
         self._shadow = {tiers.web: base_weight, tiers.app: base_weight, tiers.db: base_weight}
         self.requests_seen = 0
         self.tunes_sent = 0
@@ -109,11 +113,13 @@ class RequestTypeTunePolicy:
             self.tracer.emit("rubis-policy", "unknown-class", cls=request_class)
             return
         self.requests_seen += 1
-        self._steer(self.tiers.web, profile.web, request_class)
-        self._steer(self.tiers.app, profile.app, request_class)
-        self._steer(self.tiers.db, profile.db, request_class)
+        self._steer(self.tiers.web, profile.web, request_class, packet)
+        self._steer(self.tiers.app, profile.app, request_class, packet)
+        self._steer(self.tiers.db, profile.db, request_class, packet)
 
-    def _steer(self, entity: EntityId, target: int, reason: str) -> None:
+    def _steer(
+        self, entity: EntityId, target: int, reason: str, packet: Packet
+    ) -> None:
         current = self._shadow[entity]
         gap = target - current
         if gap == 0:
@@ -121,7 +127,14 @@ class RequestTypeTunePolicy:
         delta = max(-self.step, min(self.step, gap))
         self._shadow[entity] = current + delta
         self.tunes_sent += 1
-        self.agent.send_tune(entity, delta, reason=reason)
+        span = None
+        if self._minter.active:
+            # Root of the causal chain: this classified packet's decision.
+            span = self._minter.mint(
+                "rubis-policy", entity=str(entity), reason=reason, op="tune",
+                pid=packet.pid, pkt_rx=packet.stamps.get("ixp-rx"),
+            )
+        self.agent.send_tune(entity, delta, reason=reason, span=span)
 
     def shadow_weights(self) -> dict[EntityId, int]:
         """The policy's current belief of tier weights."""

@@ -31,6 +31,7 @@ from .power import (
     run_power_cap,
     run_power_cap_arm,
 )
+from .registry import Experiment, all_experiments, experiment, get, names, register
 from .report import percent_change, render_bars, render_minmax, render_series, render_table
 from .runner import (
     Call,
@@ -51,9 +52,20 @@ from .rubis import (
     run_rubis,
     run_rubis_pair,
 )
+from .trace import (
+    DEFAULT_TRACE_DURATION,
+    TraceRunResult,
+    render_control_loops,
+    run_traced_rubis,
+)
 
 __all__ = [
     "Call",
+    "DEFAULT_TRACE_DURATION",
+    "Experiment",
+    "TraceRunResult",
+    "all_experiments",
+    "experiment",
     "QoSLadderResult",
     "RubisPairResult",
     "RubisRunResult",
@@ -67,7 +79,10 @@ __all__ = [
     "default_workers",
     "parallelism_enabled",
     "percent_change",
+    "names",
+    "register",
     "render_bars",
+    "render_control_loops",
     "render_figure2",
     "render_figure4",
     "render_figure5",
@@ -80,6 +95,8 @@ __all__ = [
     "render_table2",
     "render_table3",
     "run_calls",
+    "run_traced_rubis",
+    "get",
     "run_pair",
     "run_qos_ladder",
     "run_rubis",

@@ -56,7 +56,10 @@ def run_qos_ladder(
     base = config or MPlayerConfig()
     testbed_config = replace(base.testbed, seed=seed)
     if reliable is not None:
-        testbed_config = replace(testbed_config, reliable=reliable)
+        testbed_config = replace(
+            testbed_config,
+            channel=replace(testbed_config.channel, reliable=reliable),
+        )
     deployment = deploy_mplayer(replace(base, testbed=testbed_config))
     t0 = QOS_WARMUP
     t1 = t0 + QOS_STAGE_DURATION

@@ -1,0 +1,88 @@
+"""The experiment registry: one declarative table of runnable artefacts.
+
+The CLI (``python -m repro``) used to hard-code a ``cmd_*`` if-chain; new
+experiments had to edit the parser, the dispatch table and the ``list``
+output separately. Now an experiment registers itself once::
+
+    @experiment("rubis", help="Tables 1-2, Figures 2/4/5",
+                artefacts=("figure2", "figure4", "table1", "table2", "figure5"))
+    def cmd_rubis(args): ...
+
+and ``list``, ``all`` and command dispatch all derive from the registry.
+Registration is idempotent per name (latest wins), so module reloads and
+test re-imports never raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: An experiment entry point: receives the parsed CLI namespace.
+ExperimentRunner = Callable[[Any], None]
+
+
+@dataclass(frozen=True, slots=True)
+class Experiment:
+    """One registered, CLI-runnable experiment."""
+
+    name: str
+    run: ExperimentRunner
+    help: str = ""
+    #: Paper artefacts (tables/figures) the run prints or writes.
+    artefacts: tuple[str, ...] = ()
+    #: Whether ``python -m repro all`` includes this experiment. Side-
+    #: effectful or diagnostic commands (e.g. ``trace``) opt out.
+    in_all: bool = True
+
+
+#: name -> Experiment, in registration order.
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp: Experiment) -> Experiment:
+    """Admit ``exp``; re-registering a name replaces the old entry."""
+    _REGISTRY[exp.name] = exp
+    return exp
+
+
+def experiment(
+    name: str,
+    help: str = "",
+    artefacts: tuple[str, ...] = (),
+    in_all: bool = True,
+) -> Callable[[ExperimentRunner], ExperimentRunner]:
+    """Decorator form of :func:`register` (see module docstring)."""
+
+    def decorate(fn: ExperimentRunner) -> ExperimentRunner:
+        doc = (fn.__doc__ or "").strip().splitlines()
+        register(Experiment(
+            name=name,
+            run=fn,
+            help=help or (doc[0] if doc else ""),
+            artefacts=tuple(artefacts),
+            in_all=in_all,
+        ))
+        return fn
+
+    return decorate
+
+
+def get(name: str) -> Experiment:
+    """The experiment registered under ``name``; KeyError if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no experiment {name!r}; registered: {', '.join(_REGISTRY) or '(none)'}"
+        ) from None
+
+
+def names() -> list[str]:
+    """Registered experiment names, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_experiments() -> list[Experiment]:
+    """Every registered experiment, in registration order."""
+    return list(_REGISTRY.values())

@@ -85,7 +85,10 @@ def run_rubis(
     base_config = config or RubisConfig()
     testbed_config = replace(base_config.testbed, seed=seed)
     if reliable is not None:
-        testbed_config = replace(testbed_config, reliable=reliable)
+        testbed_config = replace(
+            testbed_config,
+            channel=replace(testbed_config.channel, reliable=reliable),
+        )
     run_config = replace(
         base_config,
         coordinated=coordinated,

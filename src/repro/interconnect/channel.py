@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from ..obs import span_of
 from ..sim import Simulator, Tracer, us
 
 #: Default one-way delivery latency over the PCI-config-space mailbox.
@@ -54,9 +55,25 @@ class ChannelEndpoint:
             raise RuntimeError(f"endpoint {self.name!r} is not connected")
         self.sent += 1
         channel = self.channel
+        # The wire hop of a causal span: the message (or the reliable
+        # frame wrapping it) entering the mailbox. Emitted per *attempt*,
+        # before the loss draw, so a span's wire stage starts at its first
+        # put even when that put is dropped and a retransmission delivers.
+        # Guarded by the memoized wants() so span-off runs pay nothing.
+        span = span_of(message) if channel.tracer.wants("span-wire") else None
+        if span is not None:
+            channel.tracer.emit(
+                "channel", "span-wire", trace=span.trace_id, span=span.span_id,
+                frm=self.name, to=self._peer.name,
+            )
         if channel.loss_probability > 0 and channel.rng.random() < channel.loss_probability:
             self.dropped += 1
             channel.messages_lost += 1
+            if span is not None:
+                channel.tracer.emit(
+                    "channel", "span-lost", trace=span.trace_id, span=span.span_id,
+                    frm=self.name,
+                )
             channel.tracer.emit(
                 "channel", "msg-dropped", frm=self.name, to=self._peer.name,
                 message=repr(message),

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from ..obs import span_of
 from ..sim import Tracer, seconds, us
 from .channel import ChannelEndpoint, CoordinationChannel, MessageHandler
 
@@ -199,11 +200,40 @@ class ReliableEndpoint:
             "reliable", "frame-coalesced", frm=self.name, key=str(key),
             cancelled=merged is None,
         )
+        if pending is not None and self.tracer.wants("span-coalesced"):
+            self._emit_merge_spans(key, pending, message, merged)
         if merged is None:
             # The deltas cancelled out: nothing left to send for this key.
             self._pending_merge.pop(key, None)
         else:
             self._pending_merge[key] = merged
+
+    def _emit_merge_spans(self, key: Any, pending: Any, message: Any, merged: Any) -> None:
+        """Span bookkeeping for one coalescing step: the absorbed spans are
+        announced (``span-coalesced`` into the survivor) or, when the merge
+        cancelled the frame outright, every participant is ``span-cancelled``.
+        The survivor additionally carries the absorbed ids in its
+        ``merged_from`` so the collector can close absorbed loops at apply
+        time even if these events are missed."""
+        old_span = span_of(pending)
+        new_span = span_of(message)
+        if merged is None:
+            for span in (old_span, new_span):
+                if span is not None:
+                    self.tracer.emit(
+                        "reliable", "span-cancelled", trace=span.trace_id,
+                        span=span.span_id, frm=self.name, key=str(key),
+                    )
+            return
+        survivor = span_of(merged)
+        if survivor is None:
+            return
+        for span in (old_span, new_span):
+            if span is not None and span.span_id != survivor.span_id:
+                self.tracer.emit(
+                    "reliable", "span-coalesced", trace=span.trace_id,
+                    span=span.span_id, into=survivor.span_id, frm=self.name,
+                )
 
     def _transmit_new(self, message: Any, key: CoalesceKey) -> None:
         seq = self._next_seq
@@ -242,6 +272,13 @@ class ReliableEndpoint:
         self.tracer.emit(
             "reliable", "frame-retransmit", frm=self.name, seq=seq, retry=entry.retries
         )
+        if self.tracer.wants("span-retransmit"):
+            span = span_of(entry.message)
+            if span is not None:
+                self.tracer.emit(
+                    "reliable", "span-retransmit", trace=span.trace_id,
+                    span=span.span_id, retry=entry.retries, frm=self.name,
+                )
         self._put_on_wire(entry)
 
     def _dead_letter(self, entry: _Pending) -> None:
@@ -251,6 +288,13 @@ class ReliableEndpoint:
             "reliable", "frame-dead-letter", frm=self.name, seq=entry.seq,
             message=repr(entry.message),
         )
+        if self.tracer.wants("span-dead"):
+            span = span_of(entry.message)
+            if span is not None:
+                self.tracer.emit(
+                    "reliable", "span-dead", trace=span.trace_id,
+                    span=span.span_id, retries=entry.retries, frm=self.name,
+                )
         # The merged successor (if any) still deserves its own attempts:
         # a dead frame must not take queued adjustments down with it.
         self._release_key(entry)

@@ -1,0 +1,35 @@
+"""Causal observability: span tracing across islands and the control-loop
+latency observatory.
+
+``repro.obs`` closes the attribution gap the per-hop collectors leave
+open: a :class:`SpanContext` minted at an IXP classification decision
+rides inside the coordination messages (and their reliable-channel
+frames) all the way to the knob registry's actuation audit, the
+:class:`ControlLoopCollector` turns the resulting span events into
+per-stage latency percentiles, and :func:`export_chrome_trace` renders
+completed loops on per-island ``chrome://tracing`` tracks.
+"""
+
+from .chrome import chrome_trace_events, export_chrome_trace, validate_chrome_trace
+from .collector import (
+    CONTROL_LOOP_STAGES,
+    ControlLoopCollector,
+    ControlLoopRecord,
+    ControlLoopStats,
+)
+from .span import NO_PARENT, SPAN_TRACE_KINDS, SpanContext, SpanMinter, span_of
+
+__all__ = [
+    "CONTROL_LOOP_STAGES",
+    "ControlLoopCollector",
+    "ControlLoopRecord",
+    "ControlLoopStats",
+    "NO_PARENT",
+    "SPAN_TRACE_KINDS",
+    "SpanContext",
+    "SpanMinter",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "span_of",
+    "validate_chrome_trace",
+]

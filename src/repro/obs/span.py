@@ -1,0 +1,158 @@
+"""Causal span contexts: the identity a coordination decision carries.
+
+The paper's argument is end-to-end — a classified packet on the IXP must
+become a credit-weight change on x86 "as soon as possible" (§3.3) — yet
+each hop (channel, agent, knob registry) can only be observed in
+isolation. A :class:`SpanContext` is the small value that makes the whole
+loop attributable: it is minted when a policy makes a classification-driven
+decision, rides *by value* inside :class:`~repro.coordination.messages.
+TuneMessage` / ``TriggerMessage`` (and therefore inside reliable-channel
+frames, surviving retransmission), and is finally stamped onto the knob
+registry's :class:`~repro.platform.knobs.ActuationRecord`. One trace id
+then links packet -> classification -> policy decision -> send ->
+(retries) -> receive -> clamp/apply -> lease expiry/restore.
+
+Ids are minted from plain monotonic counters, one :class:`SpanMinter` per
+tracer (i.e. per testbed), so span ids are deterministic across kernel
+fast-path modes and across the serial vs. parallel experiment runner —
+each arm owns its own simulator, tracer and minter.
+
+Zero-cost rule: every producer guards minting and event emission behind
+the tracer's memoized :meth:`~repro.sim.tracing.Tracer.wants` check. With
+tracing disabled (or nobody subscribed to span kinds), ``mint()`` returns
+``None``, messages carry ``span=None``, and not a single extra object is
+allocated on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..sim import Tracer
+
+#: Trace kinds emitted along a span's life (subscribe to these to observe
+#: control loops; the :class:`~repro.obs.collector.ControlLoopCollector`
+#: does exactly that).
+SPAN_TRACE_KINDS = (
+    "span-minted",       # policy decision (classifier/monitor) - t0
+    "span-sent",         # agent handed the message to its endpoint - t1
+    "span-wire",         # message (or its frame) put on the raw mailbox - t2
+    "span-lost",         # a wire attempt was dropped by the lossy mailbox
+    "span-retransmit",   # the reliable layer retransmitted the frame
+    "span-coalesced",    # absorbed into a pending merged frame
+    "span-cancelled",    # coalesced deltas summed to zero; never sent
+    "span-dead",         # frame dead-lettered after the retry budget
+    "span-recv",         # delivered to the receiving agent - t3
+    "span-handle",       # Dom0 handling paid; dispatching to the knob - t4
+    "span-applied",      # actuation recorded by the knob registry - t5
+    "span-restored",     # a trigger lease expired back to the original
+)
+
+#: The root span id: ``parent_id == 0`` marks a decision-root span.
+NO_PARENT = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SpanContext:
+    """Trace identity carried by value through the coordination stack.
+
+    ``trace_id`` names the causal chain rooted at one policy decision;
+    ``span_id`` names this hop's span (globally unique per minter);
+    ``parent_id`` is the span that caused this one (0 for roots).
+    ``merged_from`` records the span ids this span absorbed through
+    Tune coalescing — when it is applied, the absorbed decisions were
+    applied too (as one merged delta).
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int = NO_PARENT
+    merged_from: tuple[int, ...] = ()
+
+    def absorbing(self, other: "SpanContext") -> "SpanContext":
+        """This span, additionally carrying ``other`` (and everything
+        ``other`` had already absorbed) as merged parents."""
+        return SpanContext(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            merged_from=other.merged_from + (other.span_id,) + self.merged_from,
+        )
+
+    def __repr__(self) -> str:
+        merged = f" merged={list(self.merged_from)}" if self.merged_from else ""
+        return f"Span({self.trace_id}:{self.span_id}{merged})"
+
+
+def span_of(message: Any) -> Optional[SpanContext]:
+    """The span a message (or a reliable frame wrapping one) carries.
+
+    Duck-typed so the channel layer needs no knowledge of message or
+    frame classes: a bare coordination message exposes ``.span``; a
+    :class:`~repro.interconnect.reliable.DataFrame` exposes the message as
+    ``.payload``.
+    """
+    span = getattr(message, "span", None)
+    if span is not None:
+        return span
+    payload = getattr(message, "payload", None)
+    if payload is not None and not isinstance(payload, dict):
+        return getattr(payload, "span", None)
+    return None
+
+
+class SpanMinter:
+    """Allocates deterministic trace/span ids and emits span events.
+
+    One minter per tracer (use :meth:`shared`): ids are unique across all
+    producers of one platform, and the counters advance in simulation
+    event order, which is itself deterministic — so two runs of the same
+    scenario mint identical ids regardless of kernel fast-path mode or
+    experiment-runner parallelism.
+    """
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+        self._next_trace = 1
+        self._next_span = 1
+        #: Root spans handed out (mint() calls that returned a context).
+        self.minted = 0
+
+    @classmethod
+    def shared(cls, tracer: Tracer) -> "SpanMinter":
+        """The tracer's platform-wide minter (created on first use).
+
+        Policies and the testbed all resolve their minter through here so
+        span ids never collide within one platform.
+        """
+        minter = getattr(tracer, "_span_minter", None)
+        if minter is None:
+            minter = cls(tracer)
+            tracer._span_minter = minter
+        return minter
+
+    @property
+    def active(self) -> bool:
+        """Whether minting would produce observable spans (memoized in
+        the tracer's ``wants`` cache — this is the zero-cost gate)."""
+        return self.tracer.wants("span-minted")
+
+    def mint(self, source: str, **payload: Any) -> Optional[SpanContext]:
+        """Mint a root span for one policy decision, or ``None`` when
+        nobody is observing spans (tracing off / no subscriber).
+
+        ``payload`` should carry the decision's attribution: ``entity``,
+        ``reason``, ``op`` (tune/trigger) and — when the decision came from
+        a classified packet — ``pid`` and the packet's ``ixp-rx`` stamp.
+        """
+        if not self.tracer.wants("span-minted"):
+            return None
+        span = SpanContext(trace_id=self._next_trace, span_id=self._next_span)
+        self._next_trace += 1
+        self._next_span += 1
+        self.minted += 1
+        self.tracer.emit(
+            source, "span-minted", trace=span.trace_id, span=span.span_id, **payload
+        )
+        return span

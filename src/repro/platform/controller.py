@@ -30,6 +30,9 @@ class GlobalController:
         self._islands: dict[str, Island] = {}
         self._owner_of: dict[EntityId, str] = {}
         self._channels: dict[str, object] = {}
+        #: The attached control-loop observatory (a
+        #: :class:`~repro.obs.ControlLoopCollector`), when tracing is on.
+        self._observatory: Optional[object] = None
 
     # -- island registration ----------------------------------------------
 
@@ -105,6 +108,34 @@ class GlobalController:
             for island in self._islands.values()
             if getattr(island, "knobs", None) is not None
         }
+
+    # -- control-loop observatory -------------------------------------------
+
+    def attach_observatory(self, collector: object) -> None:
+        """Admit the platform's control-loop observatory.
+
+        ``collector`` must expose ``report() -> dict`` (duck-typed so the
+        platform layer stays import-free of :mod:`repro.obs`); the testbed
+        attaches its :class:`~repro.obs.ControlLoopCollector` here when
+        tracing is enabled.
+        """
+        if not callable(getattr(collector, "report", None)):
+            raise TypeError("observatory does not expose report()")
+        self._observatory = collector
+        self.tracer.emit("controller", "observatory-attached")
+
+    @property
+    def observatory(self) -> Optional[object]:
+        """The attached control-loop collector, or None when untraced."""
+        return self._observatory
+
+    def control_loops(self) -> dict:
+        """Control-loop latency introspection: counters plus per-entity and
+        per-reason stage percentiles of every completed decision loop.
+        Empty when no observatory is attached (tracing off)."""
+        if self._observatory is None:
+            return {}
+        return self._observatory.report()
 
     # -- lookups ------------------------------------------------------------
 

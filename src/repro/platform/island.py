@@ -82,17 +82,22 @@ class Island:
 
     # -- the two standard coordination mechanisms -------------------------
 
-    def apply_tune(self, entity_id: EntityId, delta: int) -> ActuationRecord:
+    def apply_tune(
+        self, entity_id: EntityId, delta: int, span: Optional[object] = None
+    ) -> ActuationRecord:
         """Adjust the entity's resource share by ``delta`` (native units).
 
         This is the receive side of the paper's **Tune** mechanism: a
         ``(entity, +/- value)`` pair dispatched through the entity's typed
         knob, which scales, clamps and applies it in the local scheduler's
-        native units.
+        native units. ``span`` is the remote decision's causal span (see
+        :mod:`repro.obs`), forwarded to the actuation audit.
         """
-        return self.knobs.tune(entity_id, delta)
+        return self.knobs.tune(entity_id, delta, span=span)
 
-    def apply_trigger(self, entity_id: EntityId) -> ActuationRecord:
+    def apply_trigger(
+        self, entity_id: EntityId, span: Optional[object] = None
+    ) -> ActuationRecord:
         """Give the entity CPU (or equivalent) as soon as possible.
 
         Receive side of the paper's **Trigger** mechanism, with preemptive
@@ -102,7 +107,7 @@ class Island:
         :class:`~repro.platform.knobs.UnsupportedTriggerError` when the
         entity's knob has no trigger capability.
         """
-        return self.knobs.trigger(entity_id)
+        return self.knobs.trigger(entity_id, span=span)
 
     def __repr__(self) -> str:
         return f"<{self.__class__.__name__} {self.name!r} entities={len(self._entities)}>"

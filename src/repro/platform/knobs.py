@@ -137,6 +137,11 @@ class ActuationRecord:
     applied_value: Optional[float]
     outcome: str  #: ``applied`` | ``clamped`` | ``rejected``
     reason: str = ""
+    #: Causal span of the coordination decision this actuation realises
+    #: (a :class:`~repro.obs.SpanContext`, typed loosely so the actuation
+    #: layer stays import-free of the observability package). None for
+    #: local/untraced actuations — the zero-cost default.
+    span: Optional[Any] = None
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict form (stable keys, for reports and JSON dumps)."""
@@ -153,17 +158,24 @@ class ActuationRecord:
             "applied_value": self.applied_value,
             "outcome": self.outcome,
             "reason": self.reason,
+            "trace_id": self.span.trace_id if self.span is not None else None,
+            "span_id": self.span.span_id if self.span is not None else None,
         }
 
 
 class _LeaseState:
     """Refcounted boost state of one lease-capable knob."""
 
-    __slots__ = ("original", "level")
+    __slots__ = ("original", "level", "spans")
 
     def __init__(self, original: float):
         self.original = original
         self.level = 0  #: currently-held (unexpired) boost acquisitions
+        #: Acquiring spans, one per held level (None entries when tracing
+        #: is off); popped FIFO as levels expire — expiry timers fire in
+        #: acquisition order, so each restore is attributed to the decision
+        #: whose hold just ran out.
+        self.spans: list = []
 
 
 class KnobRegistry:
@@ -244,6 +256,7 @@ class KnobRegistry:
         previous_value: Optional[float] = None,
         applied_value: Optional[float] = None,
         reason: str = "",
+        span: Optional[Any] = None,
     ) -> ActuationRecord:
         record = ActuationRecord(
             seq=self._seq,
@@ -258,6 +271,7 @@ class KnobRegistry:
             applied_value=applied_value,
             outcome=outcome,
             reason=reason,
+            span=span,
         )
         self._seq += 1
         self.audit.append(record)
@@ -265,15 +279,31 @@ class KnobRegistry:
             del self.audit[: len(self.audit) - self.audit_limit]
         return record
 
+    def _emit_span_applied(self, span: Any, record: ActuationRecord) -> None:
+        """Close a causal span at its actuation (t5 of the control loop).
+
+        ``merged_from`` carries the span ids this actuation additionally
+        realised through Tune coalescing, so the collector can complete
+        absorbed loops from the surviving span's apply event alone.
+        """
+        self.tracer.emit(
+            self.island_name, "span-applied", trace=span.trace_id,
+            span=span.span_id, entity=record.entity, op=record.op,
+            outcome=record.outcome, merged_from=span.merged_from,
+        )
+
     # -- the Tune mechanism --------------------------------------------------
 
-    def tune(self, entity_id: EntityId, delta: float) -> ActuationRecord:
+    def tune(
+        self, entity_id: EntityId, delta: float, span: Optional[Any] = None
+    ) -> ActuationRecord:
         """Apply a relative adjustment through the entity's knob.
 
         ``delta`` is in coordination units; the knob's ``step`` scales it
         to native units. The target is clamped into the knob's bounds and
         handed to ``apply``, whose return value (possibly clamped further)
-        is what the audit reports as applied.
+        is what the audit reports as applied. ``span`` is the causal span
+        of the remote decision, stamped onto the audit record.
         """
         knob = self.get(entity_id)
         previous = knob.read()
@@ -284,13 +314,15 @@ class KnobRegistry:
                 entity_id, knob.kind, "tune", "applied",
                 requested_delta=0, requested_value=previous,
                 previous_value=previous, applied_value=previous,
-                reason="zero-delta",
+                reason="zero-delta", span=span,
             )
             if self.tracer.wants("tune-applied"):
                 self.tracer.emit(
                     self.island_name, "tune-applied", entity=str(entity_id),
                     knob=knob.kind, delta=0, applied=previous,
                 )
+            if span is not None and self.tracer.wants("span-applied"):
+                self._emit_span_applied(span, record)
             self.tunes_applied += 1
             return record
         requested = previous + delta * knob.step
@@ -304,7 +336,7 @@ class KnobRegistry:
             entity_id, knob.kind, "tune", outcome,
             requested_delta=delta, requested_value=requested,
             previous_value=previous, applied_value=applied,
-            reason="bounds" if clamped else "",
+            reason="bounds" if clamped else "", span=span,
         )
         self.tunes_applied += 1
         if clamped:
@@ -319,30 +351,38 @@ class KnobRegistry:
                 self.island_name, "tune-clamped", entity=str(entity_id),
                 knob=knob.kind, requested=requested, applied=applied,
             )
+        if span is not None and self.tracer.wants("span-applied"):
+            self._emit_span_applied(span, record)
         return record
 
     # -- the Trigger mechanism (leases) ---------------------------------------
 
-    def trigger(self, entity_id: EntityId) -> ActuationRecord:
+    def trigger(
+        self, entity_id: EntityId, span: Optional[Any] = None
+    ) -> ActuationRecord:
         """Fire the entity's trigger: a pulse, or one more lease level.
 
         Raises :class:`UnsupportedTriggerError` when the knob exists but
         has no trigger capability — callers (the coordination agent) count
-        that and keep the simulation running.
+        that and keep the simulation running. ``span`` is the causal span
+        of the remote decision; for lease triggers it is held with the
+        lease level so the eventual restore is attributed back to it.
         """
         knob = self.get(entity_id)
         spec = knob.trigger
         if spec is None:
             self.unsupported_triggers += 1
-            self._record(
+            record = self._record(
                 entity_id, knob.kind, "trigger", "rejected",
-                reason="knob has no trigger capability",
+                reason="knob has no trigger capability", span=span,
             )
             if self.tracer.wants("unsupported-trigger"):
                 self.tracer.emit(
                     self.island_name, "unsupported-trigger",
                     entity=str(entity_id), knob=knob.kind,
                 )
+            if span is not None and self.tracer.wants("span-applied"):
+                self._emit_span_applied(span, record)
             raise UnsupportedTriggerError(
                 f"{entity_id} ({knob.kind}) on island {self.island_name!r} "
                 "does not support Trigger"
@@ -350,13 +390,15 @@ class KnobRegistry:
         if spec.pulse is not None:
             spec.pulse()
             record = self._record(entity_id, knob.kind, "trigger", "applied",
-                                  reason="pulse")
+                                  reason="pulse", span=span)
             self.triggers_applied += 1
             if self.tracer.wants("trigger-applied"):
                 self.tracer.emit(
                     self.island_name, "trigger-applied", entity=str(entity_id),
                     knob=knob.kind, flavour="pulse",
                 )
+            if span is not None and self.tracer.wants("span-applied"):
+                self._emit_span_applied(span, record)
             return record
         # Lease flavour: stack one boost level with deterministic expiry.
         lease = self._leases.get(entity_id)
@@ -365,6 +407,7 @@ class KnobRegistry:
             self._leases[entity_id] = lease
         previous = knob.read()
         lease.level += 1
+        lease.spans.append(span)
         boosted = spec.boost(previous)
         applied = knob.apply(boosted)
         if applied is None:
@@ -373,6 +416,7 @@ class KnobRegistry:
             entity_id, knob.kind, "trigger", "applied",
             previous_value=previous, requested_value=boosted,
             applied_value=applied, reason=f"lease level {lease.level}",
+            span=span,
         )
         self.triggers_applied += 1
         if self.tracer.wants("trigger-applied"):
@@ -380,6 +424,8 @@ class KnobRegistry:
                 self.island_name, "trigger-applied", entity=str(entity_id),
                 knob=knob.kind, flavour="lease", level=lease.level,
             )
+        if span is not None and self.tracer.wants("span-applied"):
+            self._emit_span_applied(span, record)
         self.sim.call_in(spec.hold, lambda: self._release(entity_id, knob))
         return record
 
@@ -389,6 +435,9 @@ class KnobRegistry:
         if lease is None or lease.level == 0:
             return  # released out of band (e.g. knob retuned mid-lease)
         lease.level -= 1
+        # Expiry timers fire in acquisition order: the oldest held span is
+        # the one whose hold just ran out.
+        span = lease.spans.pop(0) if lease.spans else None
         previous = knob.read()
         if lease.level == 0:
             target = lease.original
@@ -405,11 +454,17 @@ class KnobRegistry:
             entity_id, knob.kind, "trigger-release", "applied",
             previous_value=previous, requested_value=target,
             applied_value=applied, reason=f"lease level {lease.level}",
+            span=span,
         )
         if self.tracer.wants("trigger-released"):
             self.tracer.emit(
                 self.island_name, "trigger-released", entity=str(entity_id),
                 knob=knob.kind, level=lease.level,
+            )
+        if span is not None and self.tracer.wants("span-restored"):
+            self.tracer.emit(
+                self.island_name, "span-restored", trace=span.trace_id,
+                span=span.span_id, entity=str(entity_id), level=lease.level,
             )
 
     def active_leases(self, entity_id: EntityId) -> int:

@@ -9,7 +9,8 @@ models then only need :meth:`create_guest_vm` and :meth:`add_client_host`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from .coordination import MESSAGE_HANDLING_COST, CoordinationAgent
@@ -24,23 +25,26 @@ from .interconnect import (
 )
 from .ixp import IXPIsland, IXPParams
 from .net import DuplexLink, VirtualNIC, XenBridge
+from .obs import ControlLoopCollector, SpanMinter
 from .platform import EntityId, GlobalController
 from .sim import RandomStreams, Simulator, Tracer, us
 from .x86 import VirtualMachine, X86Island, X86Params
 
 
 @dataclass(frozen=True, slots=True)
-class TestbedConfig:
-    """Shape and timing of the whole prototype platform."""
+class ChannelConfig:
+    """Shape of the PCI-config-space coordination channel.
 
-    seed: int = 1
-    x86: X86Params = X86Params()
-    ixp: IXPParams = IXPParams()
-    #: One-way latency of the PCI-config-space coordination channel.
-    channel_latency: int = DEFAULT_CHANNEL_LATENCY
+    Grouped out of :class:`TestbedConfig` so channel experiments (latency
+    sweeps, loss injection, the reliability ablation) vary one sub-config
+    instead of a handful of flat knobs.
+    """
+
+    #: One-way delivery latency of the mailbox.
+    latency: int = DEFAULT_CHANNEL_LATENCY
     #: Drop probability of the raw coordination mailbox (failure
     #: injection; the paper's prototype channel is unacknowledged).
-    channel_loss_probability: float = 0.0
+    loss_probability: float = 0.0
     #: Wrap the mailbox in the reliable delivery layer (acks, retransmit
     #: with backoff, Tune coalescing). Off by default: the paper's figures
     #: are measured over the raw channel.
@@ -48,6 +52,44 @@ class TestbedConfig:
     #: Retry budget per frame when ``reliable`` is on; exhausted frames
     #: are dead-lettered, never raised.
     reliable_max_retries: int = 8
+    #: Model the paper's §3.3 hardware-assisted coordination: fast on-chip
+    #: signalling (1 us channel) delivered by hardware queues, with no
+    #: Dom0 software handling cost per message. Overrides ``latency``.
+    hardware: bool = False
+
+    @property
+    def effective_latency(self) -> int:
+        """The one-way latency the platform actually wires up."""
+        return us(1) if self.hardware else self.latency
+
+
+#: (legacy TestbedConfig field, ChannelConfig field) pairs the shim maps.
+_LEGACY_CHANNEL_FIELDS = (
+    ("channel_latency", "latency"),
+    ("channel_loss_probability", "loss_probability"),
+    ("reliable", "reliable"),
+    ("reliable_max_retries", "reliable_max_retries"),
+    ("hardware_coordination", "hardware"),
+)
+
+#: Warn-once latch for the flat-kwarg deprecation (reset in tests).
+_legacy_channel_warned = False
+
+
+@dataclass(frozen=True, slots=True)
+class TestbedConfig:
+    """Shape and timing of the whole prototype platform.
+
+    Channel knobs live in :attr:`channel`; the flat fields below it are a
+    deprecated compatibility shim that maps onto it (and warns once).
+    """
+
+    seed: int = 1
+    x86: X86Params = X86Params()
+    ixp: IXPParams = IXPParams()
+    #: The coordination-channel sub-config (latency, loss, reliability,
+    #: hardware assistance).
+    channel: ChannelConfig = ChannelConfig()
     #: IXP -> host interrupt moderation delay.
     interrupt_delay: int = us(50)
     #: Fraction of one Dom0 VCPU the polling messaging driver burns
@@ -59,12 +101,43 @@ class TestbedConfig:
     wire_bandwidth: float = 0.125
     #: Host message ring sizes, in descriptors.
     ring_capacity: int = 1024
-    #: Enable structured tracing (off by default: it costs time).
+    #: Enable structured tracing (off by default: it costs time). Also
+    #: arms the control-loop observatory: the testbed attaches a
+    #: :class:`~repro.obs.ControlLoopCollector` so causal spans are minted
+    #: and assembled.
     tracing: bool = False
-    #: Model the paper's §3.3 hardware-assisted coordination: fast on-chip
-    #: signalling (1 us channel) delivered by hardware queues, with no
-    #: Dom0 software handling cost per message. Overrides channel_latency.
-    hardware_coordination: bool = False
+    # -- deprecated flat channel knobs (use ``channel=ChannelConfig(...)``).
+    # Non-None values are merged into ``channel`` by __post_init__, which
+    # warns once per process; they normalise back to None afterwards so
+    # equality, hashing and dataclasses.replace() see one canonical form.
+    channel_latency: Optional[int] = None
+    channel_loss_probability: Optional[float] = None
+    reliable: Optional[bool] = None
+    reliable_max_retries: Optional[int] = None
+    hardware_coordination: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        overrides = {
+            new: getattr(self, old)
+            for old, new in _LEGACY_CHANNEL_FIELDS
+            if getattr(self, old) is not None
+        }
+        if not overrides:
+            return
+        global _legacy_channel_warned
+        if not _legacy_channel_warned:
+            _legacy_channel_warned = True
+            warnings.warn(
+                "flat TestbedConfig channel knobs (channel_latency, "
+                "channel_loss_probability, reliable, reliable_max_retries, "
+                "hardware_coordination) are deprecated; pass "
+                "TestbedConfig(channel=ChannelConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        object.__setattr__(self, "channel", replace(self.channel, **overrides))
+        for old, _new in _LEGACY_CHANNEL_FIELDS:
+            object.__setattr__(self, old, None)
 
 
 class ClientHost:
@@ -117,13 +190,11 @@ class Testbed:
         self.ixp.attach_host(self.pcie, self.rx_ring, self.tx_ring)
 
         # Coordination channel + per-island agents.
-        channel_latency = us(1) if self.config.hardware_coordination else (
-            self.config.channel_latency
-        )
-        loss = self.config.channel_loss_probability
+        channel_config = self.config.channel
+        loss = channel_config.loss_probability
         self.channel = CoordinationChannel(
             self.sim,
-            latency=channel_latency,
+            latency=channel_config.effective_latency,
             loss_probability=loss,
             rng=self.rng.stream("channel-loss") if loss > 0 else None,
             tracer=self.tracer,
@@ -131,10 +202,10 @@ class Testbed:
         #: The reliable wrapper, when the experiment opted in; agents and
         #: the XScale then talk to its endpoints instead of the raw ones.
         self.reliable_channel: Optional[ReliableChannel] = None
-        if self.config.reliable:
+        if channel_config.reliable:
             self.reliable_channel = ReliableChannel(
                 self.channel,
-                ReliableConfig(max_retries=self.config.reliable_max_retries),
+                ReliableConfig(max_retries=channel_config.reliable_max_retries),
                 tracer=self.tracer,
             )
             coord = self.reliable_channel
@@ -149,7 +220,7 @@ class Testbed:
             self.x86,
             coord.endpoint("x86"),
             handler_vm=self.dom0,
-            handling_cost=0 if self.config.hardware_coordination else MESSAGE_HANDLING_COST,
+            handling_cost=0 if channel_config.hardware else MESSAGE_HANDLING_COST,
             tracer=self.tracer,
         )
 
@@ -158,6 +229,17 @@ class Testbed:
         self.controller.register_island(self.x86)
         self.controller.register_island(self.ixp)
         self.controller.register_channel("ixp-x86", coord)
+
+        # The control-loop observatory: constructing the collector is what
+        # arms span minting platform-wide (the producers' Tracer.wants
+        # gates open); with tracing off nothing is built and every span
+        # guard stays a memoized False.
+        self.observatory: Optional[ControlLoopCollector] = None
+        if self.config.tracing:
+            self.observatory = ControlLoopCollector(self.sim, self.tracer)
+            self.controller.attach_observatory(self.observatory)
+        #: The platform-wide span minter (shared with every policy).
+        self.span_minter = SpanMinter.shared(self.tracer)
 
         self._clients: dict[str, ClientHost] = {}
 

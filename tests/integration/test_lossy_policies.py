@@ -12,7 +12,7 @@ from repro.apps.mplayer import MPlayerConfig, deploy_mplayer
 from repro.apps.rubis import RubisConfig, deploy_rubis
 from repro.coordination.mplayer_policy import STAGE_BITRATE
 from repro.sim import ms, seconds
-from repro.testbed import TestbedConfig
+from repro.testbed import ChannelConfig, TestbedConfig
 
 LOSS = 0.2
 
@@ -25,7 +25,7 @@ class TestRubisLossyRaw:
             requests_per_session=10,
             think_time_mean=ms(300),
             warmup=seconds(4),
-            testbed=TestbedConfig(seed=7, channel_loss_probability=LOSS),
+            testbed=TestbedConfig(seed=7, channel=ChannelConfig(loss_probability=LOSS)),
         )
         deployment = deploy_rubis(config)
         deployment.run(seconds(24))
@@ -55,7 +55,7 @@ class TestMPlayerLossyRaw:
     def test_completes_with_sane_stats(self):
         config = MPlayerConfig(
             qos_stage=STAGE_BITRATE,
-            testbed=TestbedConfig(seed=7, channel_loss_probability=LOSS),
+            testbed=TestbedConfig(seed=7, channel=ChannelConfig(loss_probability=LOSS)),
         )
         deployment = deploy_mplayer(config)
         deployment.run(seconds(25))

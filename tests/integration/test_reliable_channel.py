@@ -9,7 +9,7 @@ seed — and the raw-channel paper figures are untouched by the new layer.
 from repro.apps.rubis import RubisConfig, deploy_rubis
 from repro.experiments import run_rubis
 from repro.sim import ms, seconds
-from repro.testbed import Testbed, TestbedConfig
+from repro.testbed import ChannelConfig, Testbed, TestbedConfig
 
 
 def _reliable_rubis_run(seed=3):
@@ -20,7 +20,8 @@ def _reliable_rubis_run(seed=3):
         think_time_mean=ms(300),
         warmup=seconds(4),
         testbed=TestbedConfig(
-            seed=seed, channel_loss_probability=0.3, reliable=True
+            seed=seed,
+            channel=ChannelConfig(loss_probability=0.3, reliable=True),
         ),
     )
     deployment = deploy_rubis(config)

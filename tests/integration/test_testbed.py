@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Testbed, TestbedConfig
+from repro import ChannelConfig, Testbed, TestbedConfig
 from repro.net import Packet
 from repro.platform import EntityId
 from repro.sim import ms, seconds
@@ -89,7 +89,7 @@ class TestCoordinationPath:
         assert vm.vcpus[0].boosted
 
     def test_channel_latency_respected(self):
-        config = TestbedConfig(channel_latency=ms(2))
+        config = TestbedConfig(channel=ChannelConfig(latency=ms(2)))
         testbed = Testbed(config)
         vm, _nic = testbed.create_guest_vm("guest")
         testbed.ixp_agent.send_tune(testbed.vm_entity("guest"), +64)

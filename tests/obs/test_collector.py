@@ -1,0 +1,182 @@
+"""Unit tests for the control-loop observatory's event assembly.
+
+Feeds hand-scheduled span trace events through a real Tracer/Simulator and
+checks that the collector reassembles loops, attributes coalesced spans,
+patches lease restores, and summarizes stages correctly.
+"""
+
+import pytest
+
+from repro.obs import CONTROL_LOOP_STAGES, ControlLoopCollector
+from repro.sim import Simulator, Tracer
+
+
+def make_collector():
+    sim = Simulator()
+    tracer = Tracer(sim, enabled=True)
+    return sim, tracer, ControlLoopCollector(sim, tracer)
+
+
+def emit_at(sim, tracer, when, kind, **payload):
+    sim.call_at(when, lambda: tracer.emit("test", kind, **payload))
+
+
+def drive_loop(sim, tracer, span=1, trace=1, base=0, op="tune", **applied_extra):
+    """Schedule a full clean lifecycle offset by ``base`` ns."""
+    emit_at(sim, tracer, base + 10, "span-minted", trace=trace, span=span,
+            entity="x86/vm", reason="read", op=op, pid=42, pkt_rx=base + 5)
+    emit_at(sim, tracer, base + 20, "span-sent", trace=trace, span=span)
+    emit_at(sim, tracer, base + 30, "span-wire", trace=trace, span=span)
+    emit_at(sim, tracer, base + 130, "span-recv", trace=trace, span=span)
+    emit_at(sim, tracer, base + 150, "span-handle", trace=trace, span=span)
+    emit_at(sim, tracer, base + 155, "span-applied", trace=trace, span=span,
+            entity="x86/vm", op=op, outcome="applied", merged_from=(),
+            **applied_extra)
+
+
+class TestLoopAssembly:
+    def test_clean_loop_stage_latencies(self):
+        sim, tracer, collector = make_collector()
+        drive_loop(sim, tracer)
+        sim.run()
+        (record,) = collector.records
+        assert record.trace_id == 1 and record.span_id == 1
+        assert record.stages == {
+            "classify-send": 10, "ring": 10, "wire": 100,
+            "handle": 20, "apply": 5,
+        }
+        assert record.total == 145
+        assert record.packet == 42
+        assert record.outcome == "applied"
+        assert not record.coalesced
+        assert collector.stats().open == 0
+
+    def test_retransmission_counted_first_wire_attempt_kept(self):
+        sim, tracer, collector = make_collector()
+        emit_at(sim, tracer, 10, "span-minted", trace=1, span=1,
+                entity="x86/vm", reason="read", op="tune")
+        emit_at(sim, tracer, 20, "span-sent", trace=1, span=1)
+        emit_at(sim, tracer, 30, "span-wire", trace=1, span=1)
+        emit_at(sim, tracer, 31, "span-lost", trace=1, span=1)
+        emit_at(sim, tracer, 300, "span-retransmit", trace=1, span=1, retry=1)
+        emit_at(sim, tracer, 301, "span-wire", trace=1, span=1)
+        emit_at(sim, tracer, 400, "span-recv", trace=1, span=1)
+        emit_at(sim, tracer, 420, "span-handle", trace=1, span=1)
+        emit_at(sim, tracer, 425, "span-applied", trace=1, span=1,
+                entity="x86/vm", op="tune", outcome="applied", merged_from=())
+        sim.run()
+        (record,) = collector.records
+        assert record.retries == 1
+        assert record.losses == 1
+        # Wire stage starts at the FIRST put: retransmission delay is wire time.
+        assert record.wire_at == 30
+        assert record.stages["wire"] == 370
+
+    def test_coalesced_spans_complete_with_survivor(self):
+        sim, tracer, collector = make_collector()
+        # Absorbed decision: minted and sent, then merged behind span 2.
+        emit_at(sim, tracer, 10, "span-minted", trace=1, span=1,
+                entity="x86/vm", reason="read", op="tune")
+        emit_at(sim, tracer, 15, "span-sent", trace=1, span=1)
+        emit_at(sim, tracer, 40, "span-minted", trace=2, span=2,
+                entity="x86/vm", reason="read", op="tune")
+        emit_at(sim, tracer, 45, "span-sent", trace=2, span=2)
+        emit_at(sim, tracer, 50, "span-coalesced", trace=1, span=1, into=2)
+        emit_at(sim, tracer, 60, "span-wire", trace=2, span=2)
+        emit_at(sim, tracer, 160, "span-recv", trace=2, span=2)
+        emit_at(sim, tracer, 170, "span-handle", trace=2, span=2)
+        emit_at(sim, tracer, 175, "span-applied", trace=2, span=2,
+                entity="x86/vm", op="tune", outcome="applied", merged_from=(1,))
+        sim.run()
+        assert len(collector.records) == 2
+        survivor = next(r for r in collector.records if r.span_id == 2)
+        absorbed = next(r for r in collector.records if r.span_id == 1)
+        assert survivor.merged_from == (1,)
+        assert not survivor.coalesced
+        assert absorbed.coalesced
+        # Absorbed keeps its own decision/send times but inherits the
+        # survivor's wire/handle/apply: its loop includes the merge wait.
+        assert absorbed.minted_at == 10 and absorbed.sent_at == 15
+        assert absorbed.wire_at == survivor.wire_at == 60
+        assert absorbed.applied_at == survivor.applied_at == 175
+        assert absorbed.total == 165
+        assert collector.stats().coalesced_applied == 1
+
+    def test_cancelled_and_dead_close_open_spans(self):
+        sim, tracer, collector = make_collector()
+        emit_at(sim, tracer, 10, "span-minted", trace=1, span=1,
+                entity="e", reason="r", op="tune")
+        emit_at(sim, tracer, 20, "span-cancelled", trace=1, span=1)
+        emit_at(sim, tracer, 30, "span-minted", trace=2, span=2,
+                entity="e", reason="r", op="tune")
+        emit_at(sim, tracer, 40, "span-dead", trace=2, span=2, retries=8)
+        sim.run()
+        assert collector.records == []
+        assert collector.cancelled == 1
+        assert collector.dead_lettered == 1
+        assert collector.stats().open == 0
+
+    def test_trigger_restore_patches_record(self):
+        sim, tracer, collector = make_collector()
+        drive_loop(sim, tracer, op="trigger")
+        emit_at(sim, tracer, 5000, "span-restored", trace=1, span=1,
+                entity="x86/vm", level=256)
+        sim.run()
+        (record,) = collector.records
+        assert record.op == "trigger"
+        assert record.restored_at == 5000
+        assert collector.restored == 1
+
+    def test_missing_intermediate_events_fall_back(self):
+        """An applied span with only minted/applied events still completes
+        (degenerate stages, no crash) — producers may be partially gated."""
+        sim, tracer, collector = make_collector()
+        emit_at(sim, tracer, 10, "span-minted", trace=1, span=1,
+                entity="e", reason="r", op="tune")
+        emit_at(sim, tracer, 50, "span-applied", trace=1, span=1,
+                entity="e", op="tune", outcome="applied", merged_from=())
+        sim.run()
+        (record,) = collector.records
+        assert record.total == 40
+        assert all(latency >= 0 for latency in record.stages.values())
+
+    def test_events_for_unminted_spans_are_dropped(self):
+        sim, tracer, collector = make_collector()
+        emit_at(sim, tracer, 50, "span-applied", trace=9, span=9,
+                entity="e", op="tune", outcome="applied", merged_from=())
+        sim.run()
+        assert collector.records == []
+
+
+class TestIntrospection:
+    def test_link_fraction_counts_distinct_actuations(self):
+        sim, tracer, collector = make_collector()
+        drive_loop(sim, tracer, span=1, trace=1, base=0)
+        drive_loop(sim, tracer, span=2, trace=2, base=1000)
+        sim.run()
+        assert collector.link_fraction(2) == 1.0
+        assert collector.link_fraction(4) == 0.5
+        assert collector.link_fraction(0) == 0.0
+
+    def test_stage_percentiles_grouping(self):
+        sim, tracer, collector = make_collector()
+        drive_loop(sim, tracer, span=1, trace=1, base=0)
+        drive_loop(sim, tracer, span=2, trace=2, base=1000)
+        sim.run()
+        by_entity = collector.stage_percentiles(by="entity")
+        assert set(by_entity) == {"x86/vm"}
+        stages = by_entity["x86/vm"]
+        assert set(stages) == set(CONTROL_LOOP_STAGES) | {"total"}
+        assert stages["total"].count == 2
+        assert stages["wire"].mean == 100
+        with pytest.raises(ValueError):
+            collector.stage_percentiles(by="pid")
+
+    def test_report_shape(self):
+        sim, tracer, collector = make_collector()
+        drive_loop(sim, tracer)
+        sim.run()
+        report = collector.report()
+        assert report["minted"] == report["applied"] == 1
+        assert "read" in report["by_reason"]
+        assert report["open"] == 0

@@ -1,0 +1,168 @@
+"""Unit tests for span contexts, the shared minter and the Chrome exporter."""
+
+import json
+
+import pytest
+
+from repro.interconnect.reliable import DataFrame
+from repro.obs import (
+    NO_PARENT,
+    SPAN_TRACE_KINDS,
+    SpanContext,
+    SpanMinter,
+    chrome_trace_events,
+    export_chrome_trace,
+    span_of,
+    validate_chrome_trace,
+)
+from repro.obs.collector import ControlLoopRecord
+from repro.coordination.messages import TuneMessage
+from repro.sim import Simulator, TraceLog, Tracer
+
+
+class TestSpanContext:
+    def test_root_span_has_no_parent(self):
+        span = SpanContext(trace_id=7, span_id=9)
+        assert span.parent_id == NO_PARENT
+        assert span.merged_from == ()
+
+    def test_absorbing_accumulates_merged_ids(self):
+        a = SpanContext(trace_id=1, span_id=1)
+        b = SpanContext(trace_id=2, span_id=2)
+        c = SpanContext(trace_id=3, span_id=3)
+        # b absorbs a, then c absorbs the merged b: c must carry both.
+        merged_b = b.absorbing(a)
+        assert merged_b.merged_from == (1,)
+        merged_c = c.absorbing(merged_b)
+        assert merged_c.span_id == 3
+        assert set(merged_c.merged_from) == {1, 2}
+
+    def test_absorbing_keeps_own_identity(self):
+        survivor = SpanContext(trace_id=5, span_id=50, merged_from=(40,))
+        merged = survivor.absorbing(SpanContext(trace_id=6, span_id=60))
+        assert merged.trace_id == 5
+        assert merged.span_id == 50
+        assert 40 in merged.merged_from and 60 in merged.merged_from
+
+
+class TestSpanOf:
+    def test_reads_span_from_message(self):
+        span = SpanContext(trace_id=1, span_id=2)
+        msg = TuneMessage(entity="x86/vm", delta=+1, span=span)
+        assert span_of(msg) is span
+
+    def test_unwraps_reliable_frame_payload(self):
+        span = SpanContext(trace_id=1, span_id=2)
+        msg = TuneMessage(entity="x86/vm", delta=+1, span=span)
+        frame = DataFrame(seq=1, payload=msg)
+        assert span_of(frame) is span
+
+    def test_none_for_spanless_and_dict_payloads(self):
+        assert span_of(TuneMessage(entity="x86/vm", delta=1)) is None
+        assert span_of(DataFrame(seq=1, payload={"raw": True})) is None
+        assert span_of(object()) is None
+
+
+class TestSpanMinter:
+    def test_mint_returns_none_when_nobody_listens(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True)
+        minter = SpanMinter.shared(tracer)
+        assert not minter.active
+        assert minter.mint("test", entity="e") is None
+        assert minter.minted == 0
+
+    def test_mint_returns_none_when_tracer_disabled(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=False)
+        tracer.subscribe(TraceLog(), kinds=["span-minted"])
+        assert SpanMinter.shared(tracer).mint("test") is None
+
+    def test_shared_returns_one_minter_per_tracer(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        assert SpanMinter.shared(tracer) is SpanMinter.shared(tracer)
+        assert SpanMinter.shared(Tracer(sim)) is not SpanMinter.shared(tracer)
+
+    def test_ids_are_deterministic_monotonic(self):
+        def mint_three():
+            sim = Simulator()
+            tracer = Tracer(sim, enabled=True)
+            tracer.subscribe(TraceLog(), kinds=["span-minted"])
+            minter = SpanMinter.shared(tracer)
+            return [minter.mint("test", entity="e") for _ in range(3)]
+
+        first, second = mint_three(), mint_three()
+        assert [(s.trace_id, s.span_id) for s in first] == [
+            (s.trace_id, s.span_id) for s in second
+        ]
+        assert [s.span_id for s in first] == [1, 2, 3]
+
+    def test_mint_emits_span_minted_with_payload(self):
+        sim = Simulator()
+        tracer = Tracer(sim, enabled=True)
+        log = TraceLog()
+        tracer.subscribe(log, kinds=["span-minted"])
+        span = SpanMinter.shared(tracer).mint(
+            "policy", entity="x86/vm", reason="read", op="tune"
+        )
+        (record,) = log.of_kind("span-minted")
+        assert record.payload["trace"] == span.trace_id
+        assert record.payload["span"] == span.span_id
+        assert record.payload["reason"] == "read"
+
+
+def _loop(span_id=1, **overrides):
+    base = dict(
+        trace_id=span_id,
+        span_id=span_id,
+        entity="x86/vm",
+        reason="read",
+        op="tune",
+        minted_at=1_000,
+        sent_at=2_000,
+        wire_at=3_000,
+        recv_at=153_000,
+        handle_at=160_000,
+        applied_at=161_000,
+        outcome="applied",
+    )
+    base.update(overrides)
+    return ControlLoopRecord(**base)
+
+
+class TestChromeExporter:
+    def test_events_cover_stages_and_flows(self):
+        events = chrome_trace_events([_loop()])
+        phases = {event["ph"] for event in events}
+        assert {"M", "X", "s", "f"} <= phases
+        slices = [e for e in events if e["ph"] == "X"]
+        categories = {e["cat"] for e in slices}
+        assert {"wire", "handle"} <= categories
+        for event in slices:
+            assert event["dur"] >= 0
+
+    def test_export_and_validate_roundtrip(self, tmp_path):
+        destination = tmp_path / "trace.json"
+        count = export_chrome_trace(
+            [_loop(1), _loop(2, op="trigger", restored_at=500_000)],
+            str(destination),
+            metadata={"experiment": "unit"},
+        )
+        document = json.loads(destination.read_text())
+        assert len(document["traceEvents"]) == count
+        assert document["otherData"]["experiment"] == "unit"
+        validate_chrome_trace(document)  # must not raise
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"no": "events"})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+
+
+def test_span_kind_catalogue_is_stable():
+    """The collector's subscription contract: every lifecycle kind present."""
+    for kind in ("span-minted", "span-applied", "span-coalesced",
+                 "span-retransmit", "span-restored", "span-dead"):
+        assert kind in SPAN_TRACE_KINDS

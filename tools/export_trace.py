@@ -1,0 +1,52 @@
+"""Capture a causally-traced run and export it as Chrome-trace JSON.
+
+Run with::
+
+    PYTHONPATH=src python tools/export_trace.py --out trace.json
+
+then load the file into ``chrome://tracing`` or https://ui.perfetto.dev.
+Each completed control loop renders as stage lanes on per-island tracks
+(IXP decision + send, channel wire, x86 handle + apply) tied together by
+a flow arrow; lease restores appear as instant events.
+
+This is the standalone counterpart of ``python -m repro trace`` (same
+capture, same exporter) for environments that script tools/ directly;
+``--validate`` re-reads the emitted file and checks the Chrome schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import render_control_loops, run_traced_rubis
+from repro.obs import validate_chrome_trace
+from repro.sim import seconds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="trace.json",
+                        help="output path for the Chrome-trace JSON")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=12.0,
+                        help="measured seconds of the traced arm")
+    parser.add_argument("--validate", action="store_true",
+                        help="re-read the file and check the Chrome schema")
+    args = parser.parse_args(argv)
+
+    result = run_traced_rubis(
+        duration=seconds(args.duration), seed=args.seed, destination=args.out
+    )
+    print(render_control_loops(result))
+
+    if args.validate:
+        with open(args.out, encoding="utf-8") as handle:
+            validate_chrome_trace(json.load(handle))
+        print(f"validated: {args.out} is well-formed Chrome-trace JSON")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
