@@ -7,6 +7,7 @@ Usage::
     python -m repro mplayer-qos          # Figure 6
     python -m repro buffer-trigger       # Figure 7 + Table 3
     python -m repro power-cap [--cap W]  # extension experiment
+    python -m repro chaos                # robustness blackout sweep
     python -m repro trace [--out F]      # traced run -> chrome://tracing JSON
     python -m repro all                  # everything (several minutes)
 
@@ -33,6 +34,7 @@ from .experiments import (
     experiment,
     get,
     names,
+    render_chaos,
     render_control_loops,
     render_figure2,
     render_figure4,
@@ -43,6 +45,7 @@ from .experiments import (
     render_table1,
     render_table2,
     render_table3,
+    run_chaos_sweep,
     run_power_cap,
     run_qos_ladder,
     run_rubis_pair,
@@ -88,6 +91,13 @@ def cmd_buffer_trigger(args) -> None:
             artefacts=("power-cap",))
 def cmd_power_cap(args) -> None:
     _emit(render_power_cap(run_power_cap(cap_w=args.cap, seed=args.seed)))
+
+
+@experiment("chaos", help="Robustness: blackout sweep — detection, fallback, "
+            "recovery, reconvergence, lease hygiene",
+            artefacts=("chaos",), in_all=False)
+def cmd_chaos(args) -> None:
+    _emit(render_chaos(run_chaos_sweep(seed=args.seed)))
 
 
 @experiment("trace", help="Causally-traced run -> chrome://tracing JSON + "

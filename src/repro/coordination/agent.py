@@ -39,7 +39,9 @@ def tune_coalesce_merge(pending: TuneMessage, new: TuneMessage):
     and a zero combined delta cancels the pending frame outright. The new
     message's span survives as the merged frame's identity, absorbing the
     pending span as a merged parent — when the merged frame is applied,
-    both originating decisions are attributed.
+    both originating decisions are attributed. The merged frame carries
+    the newest epoch, so a replayed Tune merging with a pre-outage one is
+    not discarded as stale at the receiver.
     """
     delta = pending.delta + new.delta
     if delta == 0:
@@ -54,6 +56,7 @@ def tune_coalesce_merge(pending: TuneMessage, new: TuneMessage):
         reason=new.reason or pending.reason,
         sent_at=pending.sent_at if pending.sent_at >= 0 else new.sent_at,
         span=span,
+        epoch=max(pending.epoch, new.epoch),
     )
 
 
@@ -99,6 +102,26 @@ class CoordinationAgent:
         #: outside an agent): skipped from ``apply_latencies``, not lost.
         self.untimestamped_applies = 0
         self._custom_handlers: dict[type, list] = {}
+        # -- fault-domain state (inert until a detector is attached) ------
+        #: This agent's epoch; stamped onto every outgoing Tune/Trigger.
+        #: Bumped by the failure detector on recovery (and on restart
+        #: after a crash) so the peer can discard stale in-flight frames.
+        self.epoch = 0
+        #: True while crash-injected: incoming messages are dropped,
+        #: outgoing sends suppressed, heartbeats stop.
+        self.crashed = False
+        self._stalled_until = -1
+        self._stall_queue: list = []
+        #: The attached :class:`~repro.faults.FailureDetector`, when the
+        #: fault domain is armed; None keeps every fault check a single
+        #: attribute test on the hot path.
+        self.detector = None
+        #: Declared local-baseline knob values (entity -> native value),
+        #: reverted to on peer-DOWN and at epoch boundaries.
+        self._baselines: dict = {}
+        self.stale_epoch_drops = 0
+        self.dropped_while_crashed = 0
+        self.suppressed_sends = 0
 
     def register_message_handler(self, message_type: type, handler) -> None:
         """Extend the coordination vocabulary with a custom message type.
@@ -109,6 +132,88 @@ class CoordinationAgent:
         """
         self._custom_handlers.setdefault(message_type, []).append(handler)
 
+    # -- fault-domain surface -------------------------------------------------
+
+    @property
+    def stalled(self) -> bool:
+        """True while a :class:`~repro.faults.ManagerStall` is active."""
+        return self._stalled_until >= 0
+
+    @property
+    def peer_available(self) -> bool:
+        """False while this agent is crashed or its failure detector holds
+        the peer DOWN — the gate policies consult before emitting remote
+        Tunes/Triggers. Always True when the fault domain is unarmed."""
+        if self.crashed:
+            return False
+        detector = self.detector
+        return detector is None or not detector.is_down
+
+    def attach_detector(self, detector) -> None:
+        """Bind this agent to its failure detector (fault domain armed)."""
+        self.detector = detector
+
+    def declare_baseline(self, entity, value: float) -> None:
+        """Declare ``entity``'s local-baseline knob value: the degraded
+        mode the island falls back to on peer-DOWN and the reference a
+        recovering peer's replayed deltas are applied against."""
+        self._baselines[entity] = value
+
+    def baselines(self) -> dict:
+        """The declared local baselines (entity -> native value)."""
+        return dict(self._baselines)
+
+    def revert_to_baselines(self, reason: str) -> None:
+        """Restore every declared baseline through the island's audited
+        knob registry. Entities with an active boost lease are skipped —
+        the lease's TTL expiry restores the true original (the baseline)."""
+        knobs = getattr(self.island, "knobs", None)
+        if knobs is None:
+            return
+        for entity, value in self._baselines.items():
+            if knobs.has(entity):
+                knobs.revert(entity, value, reason=reason)
+
+    def crash(self) -> None:
+        """Crash-inject this agent: drop incoming, suppress outgoing."""
+        self.crashed = True
+        self._stalled_until = -1
+        self._stall_queue.clear()
+        self.tracer.emit("coord", "agent-crashed", at=self.endpoint.name)
+
+    def restart(self) -> None:
+        """Restart after a crash with a bumped epoch, so frames it sent
+        before dying are discarded as stale by the peer."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.epoch += 1
+        self.tracer.emit(
+            "coord", "agent-restarted", at=self.endpoint.name, epoch=self.epoch
+        )
+
+    def stall(self, duration: int) -> None:
+        """Stall the manager: defer incoming messages for ``duration`` ns
+        (overlapping stalls extend the window), then flush in order."""
+        if self.crashed:
+            return
+        self._stalled_until = self.sim.now + duration
+        self.tracer.emit(
+            "coord", "agent-stalled", at=self.endpoint.name, until=self._stalled_until
+        )
+        self.sim.call_at(self._stalled_until, self._end_stall)
+
+    def _end_stall(self) -> None:
+        if self.crashed or self._stalled_until < 0 or self.sim.now < self._stalled_until:
+            return  # crashed meanwhile, already flushed, or extended
+        self._stalled_until = -1
+        queued, self._stall_queue = self._stall_queue, []
+        self.tracer.emit(
+            "coord", "agent-resumed", at=self.endpoint.name, queued=len(queued)
+        )
+        for message in queued:
+            self._on_message(message)
+
     # -- send helpers ---------------------------------------------------------
 
     def send_tune(self, entity, delta: int, reason: str = "", span=None) -> None:
@@ -117,6 +222,9 @@ class CoordinationAgent:
         ``span`` is the minting policy's causal span (None when tracing is
         off); it rides inside the message to the remote knob registry.
         """
+        if self.crashed:
+            self.suppressed_sends += 1
+            return
         if span is not None and self.tracer.wants("span-sent"):
             self.tracer.emit(
                 "coord", "span-sent", trace=span.trace_id, span=span.span_id,
@@ -125,24 +233,59 @@ class CoordinationAgent:
         self.endpoint.send(
             TuneMessage(
                 entity=entity, delta=delta, reason=reason, sent_at=self.sim.now,
-                span=span,
+                span=span, epoch=self.epoch,
             )
         )
 
     def send_trigger(self, entity, reason: str = "", span=None) -> None:
         """Request immediate resource allocation on the remote island."""
+        if self.crashed:
+            self.suppressed_sends += 1
+            return
         if span is not None and self.tracer.wants("span-sent"):
             self.tracer.emit(
                 "coord", "span-sent", trace=span.trace_id, span=span.span_id,
                 frm=self.endpoint.name,
             )
         self.endpoint.send(
-            TriggerMessage(entity=entity, reason=reason, sent_at=self.sim.now, span=span)
+            TriggerMessage(
+                entity=entity, reason=reason, sent_at=self.sim.now, span=span,
+                epoch=self.epoch,
+            )
         )
 
     # -- receive path ------------------------------------------------------------
 
     def _on_message(self, message) -> None:
+        if self.crashed:
+            self.dropped_while_crashed += 1
+            self.tracer.emit(
+                "coord", "msg-dropped-crashed", at=self.endpoint.name,
+                message=repr(message),
+            )
+            return
+        if self._stalled_until >= 0:
+            self._stall_queue.append(message)
+            return
+        detector = self.detector
+        if detector is not None:
+            epoch = getattr(message, "epoch", None)
+            if epoch is not None:
+                if epoch < detector.peer_epoch:
+                    # A stale in-flight/retransmitted frame from before the
+                    # peer's recovery: applying it would undo the replayed
+                    # snapshot. Discard (the reliable layer still acks the
+                    # carrying frame, so retransmission churn stops).
+                    self.stale_epoch_drops += 1
+                    if self.tracer.wants("stale-epoch-dropped"):
+                        self.tracer.emit(
+                            "coord", "stale-epoch-dropped", at=self.endpoint.name,
+                            epoch=epoch, current=detector.peer_epoch,
+                            message=repr(message),
+                        )
+                    return
+                if epoch > detector.peer_epoch:
+                    detector.note_peer_epoch(epoch)
         span = getattr(message, "span", None)
         if span is not None and self.tracer.wants("span-recv"):
             self.tracer.emit(

@@ -50,6 +50,10 @@ class BufferMonitorTriggerPolicy:
         self._minter = SpanMinter.shared(self.tracer)
         self._last_trigger: dict[str, int] = {}
         self.triggers_sent = 0
+        #: Triggers withheld while the peer island was DOWN. Triggers are
+        #: transient (the buffer either drains or re-crosses the threshold
+        #: next scan), so there is nothing to replay on recovery.
+        self.triggers_suppressed = 0
         #: (time, vm, occupancy) log of fired triggers, for Figure 7.
         self.trigger_log: list[tuple[int, str, int]] = []
         ixp.xscale.every(ixp.params.monitor_period, self._scan, name="buffer-monitor")
@@ -64,6 +68,17 @@ class BufferMonitorTriggerPolicy:
                 continue
             last = self._last_trigger.get(vm_name)
             if last is not None and self.sim.now - last < self.cooldown:
+                continue
+            if not self.agent.peer_available:
+                # Degraded mode: no remote Triggers into a dead peer. The
+                # cooldown clock is *not* advanced, so the first scan after
+                # recovery may fire immediately if the buffer is still full.
+                self.triggers_suppressed += 1
+                if self.tracer.wants("degraded-suppressed"):
+                    self.tracer.emit(
+                        "buffer-monitor", "degraded-suppressed", vm=vm_name,
+                        occupancy=occupancy,
+                    )
                 continue
             self._last_trigger[vm_name] = self.sim.now
             self.triggers_sent += 1

@@ -48,11 +48,22 @@ class GpuCoschedulePolicy:
         self.tracer = tracer or Tracer(sim, enabled=False)
         self._minter = SpanMinter.shared(self.tracer)
         self.triggers_sent = 0
+        #: Triggers withheld while the peer island was DOWN; the CPU side
+        #: then relies on its scheduler's own wakeup latency (the paper's
+        #: uncoordinated pathology, accepted as the degraded mode).
+        self.triggers_suppressed = 0
         gpu.device.on_kernel_complete = self._on_kernel_complete
 
     def _on_kernel_complete(self, context_name: str, launch) -> None:
         entity = self.vm_entities.get(context_name)
         if entity is None:
+            return
+        if not self.agent.peer_available:
+            self.triggers_suppressed += 1
+            if self.tracer.wants("degraded-suppressed"):
+                self.tracer.emit(
+                    "cosched", "degraded-suppressed", context=context_name,
+                )
             return
         self.triggers_sent += 1
         span = None

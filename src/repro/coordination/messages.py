@@ -39,6 +39,11 @@ class TuneMessage:
     #: propagated by value to the receiving island (None when tracing is
     #: off — the zero-cost default).
     span: Optional[SpanContext] = None
+    #: Sender's fault-domain epoch. Stays 0 for the whole run unless the
+    #: fault layer is armed and the sender recovered from a peer-DOWN
+    #: (each recovery bumps it); receivers discard frames from older
+    #: epochs so stale retransmissions cannot undo a replayed snapshot.
+    epoch: int = 0
 
     def __repr__(self) -> str:
         sign = "+" if self.delta >= 0 else ""
@@ -55,6 +60,8 @@ class TriggerMessage:
     sent_at: int = -1
     #: Causal span of the policy decision; see :class:`TuneMessage.span`.
     span: Optional[SpanContext] = None
+    #: Sender's fault-domain epoch; see :class:`TuneMessage.epoch`.
+    epoch: int = 0
 
     def __repr__(self) -> str:
         return f"Trigger({self.entity}, {self.reason!r})"

@@ -97,7 +97,14 @@ class StreamQoSTunePolicy:
         self._shadow: dict[str, int] = {}
         self._ixp_tandem_applied: set[str] = set()
         self.tunes_sent = 0
+        #: Tunes withheld while the peer island was DOWN (degraded mode).
+        self.tunes_suppressed = 0
+        #: Tunes replayed on recovery to reconverge the remote weights.
+        self.replays_sent = 0
         ixp.add_classified_hook(self._on_classified)
+        detector = getattr(agent, "detector", None)
+        if detector is not None:
+            detector.on_up(self._replay)
 
     # -- stream discovery (RTSP setup tap on the Rx path) ----------------------
 
@@ -150,16 +157,28 @@ class StreamQoSTunePolicy:
         reason = f"stream-qos:{self.stage}"
         if delta != 0:
             self._shadow[vm_name] = target
-            self.tunes_sent += 1
-            span = None
-            if self._minter.active:
-                span = self._minter.mint(
-                    "mplayer-policy", entity=str(self.vm_entities[vm_name]),
-                    reason=reason, op="tune", vm=vm_name,
+            if not self.agent.peer_available:
+                # Degraded mode: keep the desired target in the shadow for
+                # the recovery replay, send nothing remote. Local (IXP
+                # tandem) actuation below is unaffected — local knobs
+                # never needed the channel.
+                self.tunes_suppressed += 1
+                if self.tracer.wants("degraded-suppressed"):
+                    self.tracer.emit(
+                        "mplayer-policy", "degraded-suppressed", vm=vm_name,
+                        desired=target,
+                    )
+            else:
+                self.tunes_sent += 1
+                span = None
+                if self._minter.active:
+                    span = self._minter.mint(
+                        "mplayer-policy", entity=str(self.vm_entities[vm_name]),
+                        reason=reason, op="tune", vm=vm_name,
+                    )
+                self.agent.send_tune(
+                    self.vm_entities[vm_name], delta, reason=reason, span=span
                 )
-            self.agent.send_tune(
-                self.vm_entities[vm_name], delta, reason=reason, span=span
-            )
         if (
             self.stage == STAGE_FRAMERATE
             and state.is_high_framerate
@@ -182,6 +201,26 @@ class StreamQoSTunePolicy:
         self.tracer.emit(
             "mplayer-policy", "actuated", vm=vm_name, stage=self.stage, target=target
         )
+
+    def _replay(self) -> None:
+        """Reconverge after recovery: one delta-from-baseline per VM
+        restores the stage-desired weights onto the peer's reverted
+        baselines (see :meth:`RequestTypeTunePolicy._replay`)."""
+        for vm_name, desired in self._shadow.items():
+            delta = desired - self.base_weight
+            if delta == 0:
+                continue
+            self.replays_sent += 1
+            self.tunes_sent += 1
+            span = None
+            if self._minter.active:
+                span = self._minter.mint(
+                    "mplayer-policy", entity=str(self.vm_entities[vm_name]),
+                    reason="epoch-replay", op="tune", vm=vm_name,
+                )
+            self.agent.send_tune(
+                self.vm_entities[vm_name], delta, reason="epoch-replay", span=span
+            )
 
     def channel_stats(self) -> dict[str, int]:
         """Reliability counters of the sending endpoint (empty over the

@@ -94,10 +94,19 @@ class RequestTypeTunePolicy:
         #: Platform-shared span minter: every steering decision roots a
         #: causal span linking the classified packet to the remote apply.
         self._minter = SpanMinter.shared(self.tracer)
+        self.base_weight = base_weight
         self._shadow = {tiers.web: base_weight, tiers.app: base_weight, tiers.db: base_weight}
         self.requests_seen = 0
         self.tunes_sent = 0
+        #: Tunes withheld while the peer island was DOWN (degraded mode).
+        self.tunes_suppressed = 0
+        #: Tunes replayed on recovery to reconverge the remote weights.
+        self.replays_sent = 0
         ixp.add_classified_hook(self._on_classified)
+        # Fault domain armed: replay the desired snapshot on peer recovery.
+        detector = getattr(agent, "detector", None)
+        if detector is not None:
+            detector.on_up(self._replay)
 
     # -- IXP-side tap ----------------------------------------------------------
 
@@ -126,6 +135,18 @@ class RequestTypeTunePolicy:
             return
         delta = max(-self.step, min(self.step, gap))
         self._shadow[entity] = current + delta
+        if not self.agent.peer_available:
+            # Degraded mode: the peer is DOWN (it has reverted to its
+            # declared baselines), so remote Tunes would black-hole. The
+            # shadow keeps tracking the *desired* weight; recovery replays
+            # it as one delta from baseline.
+            self.tunes_suppressed += 1
+            if self.tracer.wants("degraded-suppressed"):
+                self.tracer.emit(
+                    "rubis-policy", "degraded-suppressed", entity=str(entity),
+                    desired=self._shadow[entity],
+                )
+            return
         self.tunes_sent += 1
         span = None
         if self._minter.active:
@@ -135,6 +156,27 @@ class RequestTypeTunePolicy:
                 pid=packet.pid, pkt_rx=packet.stamps.get("ixp-rx"),
             )
         self.agent.send_tune(entity, delta, reason=reason, span=span)
+
+    def _replay(self) -> None:
+        """Reconverge after recovery: replay the desired snapshot.
+
+        The epoch-boundary contract guarantees the remote tiers are at
+        their declared baselines when messages of the new epoch land, so
+        one delta-from-baseline per tier restores the policy's desired
+        weights exactly — no per-request re-steering marathon."""
+        for entity, desired in self._shadow.items():
+            delta = desired - self.base_weight
+            if delta == 0:
+                continue
+            self.replays_sent += 1
+            self.tunes_sent += 1
+            span = None
+            if self._minter.active:
+                span = self._minter.mint(
+                    "rubis-policy", entity=str(entity), reason="epoch-replay",
+                    op="tune",
+                )
+            self.agent.send_tune(entity, delta, reason="epoch-replay", span=span)
 
     def shadow_weights(self) -> dict[EntityId, int]:
         """The policy's current belief of tier weights."""

@@ -12,6 +12,13 @@
 | Table 3  | :func:`run_trigger_pair` | :func:`render_table3` |
 """
 
+from .chaos import (
+    ChaosArmResult,
+    chaos_config,
+    render_chaos,
+    run_chaos_arm,
+    run_chaos_sweep,
+)
 from .mplayer import (
     QoSLadderResult,
     TriggerPairResult,
@@ -61,8 +68,10 @@ from .trace import (
 
 __all__ = [
     "Call",
+    "ChaosArmResult",
     "DEFAULT_TRACE_DURATION",
     "Experiment",
+    "chaos_config",
     "TraceRunResult",
     "all_experiments",
     "experiment",
@@ -82,6 +91,7 @@ __all__ = [
     "names",
     "register",
     "render_bars",
+    "render_chaos",
     "render_control_loops",
     "render_figure2",
     "render_figure4",
@@ -95,6 +105,8 @@ __all__ = [
     "render_table2",
     "render_table3",
     "run_calls",
+    "run_chaos_arm",
+    "run_chaos_sweep",
     "run_traced_rubis",
     "get",
     "run_pair",

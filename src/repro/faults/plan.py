@@ -1,0 +1,223 @@
+"""Scripted fault plans: deterministic, sim-time fault schedules.
+
+The platform's robustness story needs faults that are *reproducible*: the
+same seed and plan must produce the same blackout, the same detection
+timeline, and the same recovery — across runs and across simulator fast
+path modes. A :class:`FaultPlan` is therefore a frozen tuple of scripted
+events with absolute simulation-time stamps; nothing fires from wall
+clock or ambient randomness. Randomised plans are built *up front* from a
+named :class:`~repro.sim.RandomStreams` child stream
+(:meth:`FaultPlan.random_blackouts`), so generating the plan never
+perturbs any other stream in the run.
+
+Event vocabulary (mirrors the failure modes of the prototype):
+
+* :class:`ChannelBlackout` — the PCI-config-space mailbox drops every
+  message from the blocked side(s) for an interval (cable pull / bus
+  reset). ``direction`` partitions one way or both.
+* :class:`AgentCrash` — a :class:`~repro.coordination.CoordinationAgent`
+  dies (messages dropped, sends suppressed, heartbeats stop) and
+  optionally restarts later with a bumped epoch.
+* :class:`ManagerStall` — an island's coordination manager stops
+  handling messages for an interval (Dom0 scheduling stall, XScale
+  overload); deferred messages flush when the stall ends.
+* :class:`ActuationFault` — knob actuations on one island fail for an
+  interval (hypercall errors, dead microengine): audited and counted,
+  never raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..sim import RandomStreams, ms
+
+#: ``direction`` values of a :class:`ChannelBlackout`: block both senders,
+#: or just one (a one-way partition, named after the *blocked sender*).
+BLACKOUT_DIRECTIONS = ("both", "ixp", "x86")
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelBlackout:
+    """Black out the coordination channel for ``duration`` ns.
+
+    ``direction`` is ``"both"`` (full blackout) or the name of the one
+    endpoint whose sends are dropped (an asymmetric partition). Note that
+    a one-way partition over the *raw* mailbox is undetectable by the
+    healthy-looking side; the reliable layer's dead-letter feed is what
+    surfaces it (see :mod:`repro.faults.health`).
+    """
+
+    start: int
+    duration: int
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("blackout start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("blackout duration must be positive")
+        if self.direction not in BLACKOUT_DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {BLACKOUT_DIRECTIONS}, got {self.direction!r}"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True, slots=True)
+class AgentCrash:
+    """Crash one island's coordination agent at ``start``.
+
+    ``restart_after`` (ns after the crash) brings it back with a bumped
+    epoch; ``None`` leaves it dead for the rest of the run.
+    """
+
+    agent: str
+    start: int
+    restart_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("crash start must be non-negative")
+        if self.restart_after is not None and self.restart_after <= 0:
+            raise ValueError("restart_after must be positive when set")
+
+
+@dataclass(frozen=True, slots=True)
+class ManagerStall:
+    """Stall one island's coordination manager for ``duration`` ns."""
+
+    agent: str
+    start: int
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("stall start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("stall duration must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class ActuationFault:
+    """Fail knob actuations on ``island`` for ``duration`` ns.
+
+    ``entity`` narrows the fault to one entity's local name (e.g. a VM
+    name); ``None`` fails every actuation on the island for the window.
+    """
+
+    island: str
+    start: int
+    duration: int
+    entity: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("fault start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("fault duration must be positive")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+FaultEvent = Union[ChannelBlackout, AgentCrash, ManagerStall, ActuationFault]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events for one run."""
+
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @classmethod
+    def random_blackouts(
+        cls,
+        streams: RandomStreams,
+        *,
+        window_start: int,
+        window_end: int,
+        count: int,
+        mean_duration: int,
+        direction: str = "both",
+        stream_name: str = "fault-plan",
+    ) -> "FaultPlan":
+        """Draw ``count`` non-overlapping blackouts inside a window.
+
+        All randomness comes from the named child stream, drawn *now*, so
+        the plan is fixed before the run starts and consuming it never
+        perturbs workload or channel streams. Durations are exponential
+        around ``mean_duration`` (floored at 1 ms); starts are uniform and
+        re-drawn (bounded attempts) to avoid overlap.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if window_end <= window_start:
+            raise ValueError("window_end must be after window_start")
+        rng = streams.stream(stream_name)
+        taken: list[tuple[int, int]] = []
+        events = []
+        for _ in range(count):
+            for _attempt in range(64):
+                duration = max(ms(1), int(rng.expovariate(1.0 / mean_duration)))
+                start = int(rng.uniform(window_start, max(window_start, window_end - duration)))
+                end = start + duration
+                if all(end <= s or start >= e for s, e in taken):
+                    taken.append((start, end))
+                    events.append(ChannelBlackout(start=start, duration=duration,
+                                                  direction=direction))
+                    break
+        events.sort(key=lambda e: e.start)
+        return cls(events=tuple(events))
+
+    def blackout_windows(self) -> list[tuple[int, int]]:
+        """(start, end) of every scripted blackout, in start order."""
+        return sorted(
+            (event.start, event.end)
+            for event in self.events
+            if isinstance(event, ChannelBlackout)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """The fault domain's shape: what to inject, how to detect.
+
+    Passing this as ``TestbedConfig(faults=...)`` arms the whole fault
+    domain — heartbeats, failure detectors, injector, baselines. With the
+    default ``faults=None`` nothing is constructed and the platform is
+    bit-identical to a build without the fault layer.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    #: Heartbeat send (and detector check) period.
+    heartbeat_period: int = ms(50)
+    #: Consecutive missed heartbeats before the peer turns SUSPECT.
+    suspect_misses: int = 2
+    #: Consecutive missed heartbeats before the peer turns DOWN.
+    down_misses: int = 4
+    #: Consecutive dead-lettered frames before the peer turns DOWN even
+    #: while its heartbeats still arrive (one-way partition detection;
+    #: only reachable when the reliable layer is armed).
+    dead_letter_down: int = 3
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_period <= 0:
+            raise ValueError("heartbeat_period must be positive")
+        if self.suspect_misses <= 0:
+            raise ValueError("suspect_misses must be positive")
+        if self.down_misses < self.suspect_misses:
+            raise ValueError("down_misses must be >= suspect_misses")
+        if self.dead_letter_down <= 0:
+            raise ValueError("dead_letter_down must be positive")

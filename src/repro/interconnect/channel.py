@@ -66,6 +66,25 @@ class ChannelEndpoint:
                 "channel", "span-wire", trace=span.trace_id, span=span.span_id,
                 frm=self.name, to=self._peer.name,
             )
+        if channel.blocked_senders and self.name in channel.blocked_senders:
+            # Fault-injected blackout: the drop is deterministic (no RNG
+            # draw, so armed-but-idle runs stay bit-identical) and keeps
+            # the in-flight invariant — blocked attempts are accounted as
+            # dropped/lost plus a dedicated blackout counter.
+            self.dropped += 1
+            channel.messages_lost += 1
+            channel.messages_blacked_out += 1
+            if span is not None:
+                channel.tracer.emit(
+                    "channel", "span-lost", trace=span.trace_id, span=span.span_id,
+                    frm=self.name,
+                )
+            if channel.tracer.wants("msg-blackout"):
+                channel.tracer.emit(
+                    "channel", "msg-blackout", frm=self.name, to=self._peer.name,
+                    message=repr(message),
+                )
+            return
         if channel.loss_probability > 0 and channel.rng.random() < channel.loss_probability:
             self.dropped += 1
             channel.messages_lost += 1
@@ -121,6 +140,14 @@ class CoordinationChannel:
         self.loss_probability = loss_probability
         self.rng = rng
         self.messages_lost = 0
+        #: Endpoint names whose sends are currently blacked out (fault
+        #: injection; managed by :class:`~repro.faults.FaultInjector`).
+        #: Empty for the whole run unless a fault plan blacks out the
+        #: channel — the send path pays one truthiness test.
+        self.blocked_senders: set[str] = set()
+        #: Attempts dropped by injected blackouts (subset of
+        #: ``messages_lost``).
+        self.messages_blacked_out = 0
         self.tracer = tracer or Tracer(sim, enabled=False)
         self.a = ChannelEndpoint(self, a_name)
         self.b = ChannelEndpoint(self, b_name)
@@ -142,4 +169,5 @@ class CoordinationChannel:
             "dropped": self.a.dropped + self.b.dropped,
             "received": self.a.received + self.b.received,
             "raw_lost": self.messages_lost,
+            "blacked_out": self.messages_blacked_out,
         }

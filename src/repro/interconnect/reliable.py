@@ -151,6 +151,16 @@ class ReliableEndpoint:
         self._delivered_seqs: set[int] = set()
         self._coalesce_key: Optional[CoalesceKeyFn] = None
         self._coalesce_merge: Optional[CoalesceMergeFn] = None
+        #: Sender-side dead-letter hook: called with the application
+        #: message whose frame exhausted its retry budget, so the owner
+        #: can *react* (feed a failure detector, re-plan) instead of only
+        #: reading a counter after the fact. None (the default) costs one
+        #: attribute test per dead letter.
+        self.on_dead_letter: Optional[Callable[[Any], None]] = None
+        #: Dead-lettered messages per target entity (stringified), for
+        #: entity-granular channel health. Messages without an ``entity``
+        #: attribute (acks, heartbeats, customs) are not keyed.
+        self.dead_letters_by_entity: dict[str, int] = {}
 
         # -- counters (all cumulative) ----------------------------------
         #: Application messages accepted by send() (attempts, like the raw
@@ -295,9 +305,15 @@ class ReliableEndpoint:
                     "reliable", "span-dead", trace=span.trace_id,
                     span=span.span_id, retries=entry.retries, frm=self.name,
                 )
+        entity = getattr(entry.message, "entity", None)
+        if entity is not None:
+            key = str(entity)
+            self.dead_letters_by_entity[key] = self.dead_letters_by_entity.get(key, 0) + 1
         # The merged successor (if any) still deserves its own attempts:
         # a dead frame must not take queued adjustments down with it.
         self._release_key(entry)
+        if self.on_dead_letter is not None:
+            self.on_dead_letter(entry.message)
 
     def _release_key(self, entry: _Pending) -> None:
         if entry.key is None or self._inflight_key.get(entry.key) != entry.seq:
@@ -421,4 +437,15 @@ class ReliableChannel:
             key: self.a.stats()[key] + self.b.stats()[key] for key in self.a.stats()
         }
         combined["raw_lost"] = self.channel.messages_lost
+        combined["blacked_out"] = self.channel.messages_blacked_out
         return combined
+
+    def dead_letters_by_entity(self) -> dict[str, int]:
+        """Dead-lettered messages per target entity, both directions
+        merged — the entity-granular view :meth:`GlobalController.
+        channel_health` surfaces so operators can see *who* is losing
+        coordination, not just that frames died."""
+        merged = dict(self.a.dead_letters_by_entity)
+        for entity, count in self.b.dead_letters_by_entity.items():
+            merged[entity] = merged.get(entity, 0) + count
+        return merged

@@ -16,6 +16,7 @@ from .collector import (
     WindowedCounter,
 )
 from .efficiency import platform_efficiency
+from .health import HealthCollector
 from .response import ResponseTimeRecorder
 from .timeline import RunInterval, SchedulingTimeline
 from .stats import OnlineStats, Summary, percentile, summarize
@@ -27,6 +28,7 @@ __all__ = [
     "CpuUtilizationSampler",
     "RAW_DROP_KIND",
     "RELIABLE_TRACE_KINDS",
+    "HealthCollector",
     "LatencyBreakdown",
     "RX_PATH_STAGES",
     "StageStats",

@@ -30,6 +30,7 @@ class GlobalController:
         self._islands: dict[str, Island] = {}
         self._owner_of: dict[EntityId, str] = {}
         self._channels: dict[str, object] = {}
+        self._health_sources: dict[str, object] = {}
         #: The attached control-loop observatory (a
         #: :class:`~repro.obs.ControlLoopCollector`), when tracing is on.
         self._observatory: Optional[object] = None
@@ -65,11 +66,40 @@ class GlobalController:
         self._channels[name] = channel
         self.tracer.emit("controller", "channel-registered", channel=name)
 
-    def channel_health(self) -> dict[str, dict[str, int]]:
+    def channel_health(self) -> dict[str, dict]:
         """Current counters of every registered coordination channel —
         the platform-wide view of delivery, loss, retransmission and
-        dead-letter behaviour that scaling to many islands requires."""
-        return {name: channel.stats() for name, channel in self._channels.items()}
+        dead-letter behaviour that scaling to many islands requires.
+        Channels exposing ``dead_letters_by_entity()`` (the reliable
+        layer) additionally report *which* entities' frames died, so a
+        health consumer can react per target instead of reading one bare
+        counter."""
+        health: dict[str, dict] = {}
+        for name, channel in self._channels.items():
+            stats = dict(channel.stats())
+            by_entity = getattr(channel, "dead_letters_by_entity", None)
+            if callable(by_entity):
+                stats["dead_letters_by_entity"] = by_entity()
+            health[name] = stats
+        return health
+
+    # -- peer health ---------------------------------------------------------
+
+    def register_health(self, name: str, source) -> None:
+        """Admit a peer-health source (a :class:`~repro.faults.
+        FailureDetector`, duck-typed: must expose ``health() -> dict``)."""
+        if name in self._health_sources:
+            raise ValueError(f"health source {name!r} already registered")
+        if not callable(getattr(source, "health", None)):
+            raise TypeError(f"health source {name!r} does not expose health()")
+        self._health_sources[name] = source
+        self.tracer.emit("controller", "health-registered", detector=name)
+
+    def health(self) -> dict[str, dict]:
+        """Peer-health snapshot of every registered failure detector:
+        state, epochs, heartbeat counters and the transition timeline.
+        Empty when the fault domain is unarmed."""
+        return {name: source.health() for name, source in self._health_sources.items()}
 
     # -- actuation layer ----------------------------------------------------
 

@@ -46,6 +46,9 @@ ACTUATION_TRACE_KINDS = (
     "trigger-applied",
     "trigger-released",
     "unsupported-trigger",
+    "baseline-reverted",
+    "lease-revert-deferred",
+    "actuation-failed",
 )
 
 
@@ -130,12 +133,14 @@ class ActuationRecord:
     island: str
     entity: str
     kind: str
-    op: str  #: ``tune`` | ``trigger`` | ``trigger-release``
+    op: str  #: ``tune`` | ``trigger`` | ``trigger-release`` | ``revert``
     requested_delta: Optional[float]
     requested_value: Optional[float]
     previous_value: Optional[float]
     applied_value: Optional[float]
-    outcome: str  #: ``applied`` | ``clamped`` | ``rejected``
+    #: ``applied`` | ``clamped`` | ``rejected`` | ``failed``
+    #: (fault-injected) | ``deferred`` (revert blocked by a held lease).
+    outcome: str
     reason: str = ""
     #: Causal span of the coordination decision this actuation realises
     #: (a :class:`~repro.obs.SpanContext`, typed loosely so the actuation
@@ -201,6 +206,13 @@ class KnobRegistry:
         self.tunes_clamped = 0
         self.triggers_applied = 0
         self.unsupported_triggers = 0
+        self.reverts_applied = 0
+        self.actuations_failed = 0
+        #: Fault-injection gate: ``gate(entity_id, op) -> bool`` where True
+        #: fails the actuation (audited + counted, never raised). None —
+        #: the default — costs one attribute test per actuation; installed
+        #: only by the :class:`~repro.faults.FaultInjector`.
+        self.fault_gate: Optional[Callable[[EntityId, str], bool]] = None
 
     # -- registration / introspection --------------------------------------
 
@@ -292,6 +304,33 @@ class KnobRegistry:
             outcome=record.outcome, merged_from=span.merged_from,
         )
 
+    def _fault_reject(
+        self,
+        entity_id: EntityId,
+        knob: Knob,
+        op: str,
+        requested_delta: Optional[float] = None,
+        span: Optional[Any] = None,
+    ) -> ActuationRecord:
+        """Audit a fault-injected actuation failure (never raises: the
+        knob stays where it was, the caller keeps running, the audit and
+        counters say what happened)."""
+        previous = knob.read()
+        self.actuations_failed += 1
+        record = self._record(
+            entity_id, knob.kind, op, "failed",
+            requested_delta=requested_delta, previous_value=previous,
+            applied_value=previous, reason="fault-injected", span=span,
+        )
+        if self.tracer.wants("actuation-failed"):
+            self.tracer.emit(
+                self.island_name, "actuation-failed", entity=str(entity_id),
+                knob=knob.kind, op=op,
+            )
+        if span is not None and self.tracer.wants("span-applied"):
+            self._emit_span_applied(span, record)
+        return record
+
     # -- the Tune mechanism --------------------------------------------------
 
     def tune(
@@ -306,6 +345,9 @@ class KnobRegistry:
         of the remote decision, stamped onto the audit record.
         """
         knob = self.get(entity_id)
+        if self.fault_gate is not None and self.fault_gate(entity_id, "tune"):
+            return self._fault_reject(entity_id, knob, "tune",
+                                      requested_delta=delta, span=span)
         previous = knob.read()
         if delta == 0:
             # Zero-delta Tunes are audited no-ops: nothing is applied, so
@@ -369,6 +411,8 @@ class KnobRegistry:
         lease level so the eventual restore is attributed back to it.
         """
         knob = self.get(entity_id)
+        if self.fault_gate is not None and self.fault_gate(entity_id, "trigger"):
+            return self._fault_reject(entity_id, knob, "trigger", span=span)
         spec = knob.trigger
         if spec is None:
             self.unsupported_triggers += 1
@@ -472,6 +516,68 @@ class KnobRegistry:
         lease = self._leases.get(entity_id)
         return lease.level if lease is not None else 0
 
+    def outstanding_leases(self) -> int:
+        """Total held boost levels across every entity. Zero after every
+        hold has expired — the chaos experiment's stuck-lease gauge."""
+        return sum(lease.level for lease in self._leases.values())
+
+    # -- degraded-mode fallback -----------------------------------------------
+
+    def revert(
+        self,
+        entity_id: EntityId,
+        value: float,
+        reason: str = "",
+        span: Optional[Any] = None,
+    ) -> ActuationRecord:
+        """Restore a knob to a declared baseline ``value`` (absolute set).
+
+        The degradation contract of the fault domain: when a peer goes
+        DOWN — or an epoch boundary is crossed — every entity it steered
+        snaps back to its declared local baseline. Entities with an
+        active boost lease are *deferred*, not forced: the lease's TTL
+        expiry restores the true pre-trigger original (which is the
+        baseline), and forcing the value now would corrupt the lease's
+        captured original. A knob already at baseline is audited but not
+        re-applied, so repeated reverts have no native side effects.
+        """
+        knob = self.get(entity_id)
+        previous = knob.read()
+        lease = self._leases.get(entity_id)
+        if lease is not None and lease.level > 0:
+            record = self._record(
+                entity_id, knob.kind, "revert", "deferred",
+                requested_value=value, previous_value=previous,
+                applied_value=previous,
+                reason="lease held; TTL expiry restores the original",
+                span=span,
+            )
+            if self.tracer.wants("lease-revert-deferred"):
+                self.tracer.emit(
+                    self.island_name, "lease-revert-deferred",
+                    entity=str(entity_id), level=lease.level,
+                )
+            return record
+        target = knob.clamp(value)
+        if target == previous:
+            applied = previous
+        else:
+            applied = knob.apply(target)
+            if applied is None:
+                applied = knob.read()
+            self.reverts_applied += 1
+        record = self._record(
+            entity_id, knob.kind, "revert", "applied",
+            requested_value=value, previous_value=previous,
+            applied_value=applied, reason=reason, span=span,
+        )
+        if target != previous and self.tracer.wants("baseline-reverted"):
+            self.tracer.emit(
+                self.island_name, "baseline-reverted", entity=str(entity_id),
+                knob=knob.kind, previous=previous, baseline=applied,
+            )
+        return record
+
     def stats(self) -> dict[str, int]:
         """Actuation counters (mirrors channel ``stats()`` idiom)."""
         return {
@@ -480,6 +586,8 @@ class KnobRegistry:
             "tunes_clamped": self.tunes_clamped,
             "triggers_applied": self.triggers_applied,
             "unsupported_triggers": self.unsupported_triggers,
+            "reverts_applied": self.reverts_applied,
+            "actuations_failed": self.actuations_failed,
         }
 
     def __len__(self) -> int:

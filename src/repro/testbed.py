@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from .coordination import MESSAGE_HANDLING_COST, CoordinationAgent
+from .faults import FailureDetector, FaultConfig, FaultInjector
 from .interconnect import (
     DEFAULT_CHANNEL_LATENCY,
     CoordinationChannel,
@@ -56,6 +57,26 @@ class ChannelConfig:
     #: signalling (1 us channel) delivered by hardware queues, with no
     #: Dom0 software handling cost per message. Overrides ``latency``.
     hardware: bool = False
+
+    def __post_init__(self) -> None:
+        # Validate at config construction so a bad experiment sweep fails
+        # at the call site with the offending value, not deep inside
+        # CoordinationChannel once the testbed is half-built.
+        if self.latency < 0:
+            raise ValueError(
+                f"ChannelConfig.latency must be non-negative, got {self.latency}"
+            )
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError(
+                "ChannelConfig.loss_probability must be a probability in "
+                f"[0, 1), got {self.loss_probability} (the testbed wires the "
+                "loss RNG stream automatically when it is non-zero)"
+            )
+        if self.reliable_max_retries < 0:
+            raise ValueError(
+                "ChannelConfig.reliable_max_retries must be non-negative, "
+                f"got {self.reliable_max_retries}"
+            )
 
     @property
     def effective_latency(self) -> int:
@@ -106,6 +127,12 @@ class TestbedConfig:
     #: :class:`~repro.obs.ControlLoopCollector` so causal spans are minted
     #: and assembled.
     tracing: bool = False
+    #: Arm the fault domain: heartbeats + failure detectors on both
+    #: agents, declared baselines for created VMs/flows, and the scripted
+    #: :class:`~repro.faults.FaultPlan` injected at its simulation times.
+    #: None (the default) constructs nothing — runs are bit-identical to
+    #: an unarmed build.
+    faults: Optional[FaultConfig] = None
     # -- deprecated flat channel knobs (use ``channel=ChannelConfig(...)``).
     # Non-None values are merged into ``channel`` by __post_init__, which
     # warns once per process; they normalise back to None afterwards so
@@ -230,6 +257,32 @@ class Testbed:
         self.controller.register_island(self.ixp)
         self.controller.register_channel("ixp-x86", coord)
 
+        # The fault domain, when armed: a failure detector per agent
+        # (heartbeats + miss thresholds + dead-letter feed) and the
+        # scripted injector. With faults=None nothing below runs and the
+        # platform is bit-identical to an unarmed build.
+        self.detectors: dict[str, FailureDetector] = {}
+        self.fault_injector: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            faults = self.config.faults
+            self.detectors = {
+                "ixp": FailureDetector(self.sim, self.ixp_agent, faults,
+                                       tracer=self.tracer),
+                "x86": FailureDetector(self.sim, self.x86_agent, faults,
+                                       tracer=self.tracer),
+            }
+            for name, detector in self.detectors.items():
+                self.controller.register_health(name, detector)
+            self.fault_injector = FaultInjector(
+                self.sim,
+                faults.plan,
+                channel=self.channel,
+                agents={"ixp": self.ixp_agent, "x86": self.x86_agent},
+                islands={"ixp": self.ixp, "x86": self.x86},
+                tracer=self.tracer,
+            )
+            self.fault_injector.arm()
+
         # The control-loop observatory: constructing the collector is what
         # arms span minting platform-wide (the producers' Tracer.wants
         # gates open); with tracing off nothing is built and every span
@@ -261,8 +314,16 @@ class Testbed:
         vm = self.x86.create_vm(name, weight=weight)
         nic = VirtualNIC(self.sim, name, rx_capacity=nic_rx_capacity)
         self.bridge.add_port(name, nic)
-        if uses_ixp:
-            self.ixp.register_vm_flow(name)
+        queue = self.ixp.register_vm_flow(name) if uses_ixp else None
+        if self.detectors:
+            # Fault domain armed: the VM's boot-time knob values are its
+            # declared local baselines — what each side falls back to on
+            # peer-DOWN and the reference replayed deltas apply against.
+            self.x86_agent.declare_baseline(EntityId(self.x86.name, name), vm.weight)
+            if queue is not None:
+                self.ixp_agent.declare_baseline(
+                    EntityId(self.ixp.name, name), queue.service_weight
+                )
         return vm, nic
 
     def add_client_host(self, name: str) -> ClientHost:

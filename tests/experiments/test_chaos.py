@@ -1,0 +1,38 @@
+"""Chaos experiment: the full fault arc, deterministically."""
+
+from repro.experiments import render_chaos, run_chaos_arm
+from repro.sim import ms
+
+
+class TestChaosArm:
+    """One 500 ms blackout arm (module-scoped budget: ~2 s per run)."""
+
+    def test_full_arc_and_determinism_across_kernel_fastpath(self):
+        fast = run_chaos_arm(blackout=ms(500), seed=1, fastpath=True)
+        classic = run_chaos_arm(blackout=ms(500), seed=1, fastpath=False)
+
+        # The acceptance criterion: same seed + same plan -> identical
+        # health timelines and identical reconverged state, regardless of
+        # the simulation kernel's execution mode.
+        assert fast.transitions == classic.transitions
+        assert fast.final_weights == classic.final_weights
+        assert fast.epoch == classic.epoch
+        assert fast.replays_sent == classic.replays_sent
+        assert fast.tunes_suppressed == classic.tunes_suppressed
+
+        # The arc itself: detect -> fallback -> recover -> reconverge.
+        for side in ("ixp", "x86"):
+            assert fast.detection_ms[side] > 0
+            assert fast.recovery_ms[side] > 0
+            assert fast.epoch[side] == 1
+        assert fast.fallback_ms >= fast.detection_ms["x86"]
+        assert fast.reconverge_ms >= 0
+        assert fast.replays_sent > 0
+        assert fast.tunes_suppressed > 0
+        # Lease hygiene: every transient boost expired, none stuck.
+        assert fast.stuck_leases == 0
+        assert fast.boost_triggers_sent > 0
+
+        rendered = render_chaos([fast, classic])
+        assert "Chaos" in rendered
+        assert "all boost leases expired cleanly" in rendered

@@ -1,0 +1,106 @@
+"""Lease TTL hygiene under faults (satellite of the fault-domain work).
+
+The IXP's flow-weight Trigger is a *lease*: boost now, restore the true
+original when the hold expires. A fault must never corrupt that
+invariant — an owner that dies mid-hold leaves the TTL to restore the
+original, a peer-DOWN baseline revert defers rather than clobbering the
+captured original, and overlapping leases refcount down to exactly the
+pre-trigger value.
+"""
+
+from repro.faults import FaultConfig
+from repro.platform import EntityId
+from repro.sim import ms
+from repro.testbed import ChannelConfig, Testbed, TestbedConfig
+
+
+def armed_testbed(seed=3):
+    return Testbed(TestbedConfig(
+        seed=seed,
+        channel=ChannelConfig(reliable=True),
+        faults=FaultConfig(),
+    ))
+
+
+class TestLeaseTTLUnderFaults:
+    def test_owner_death_mid_hold_restores_true_original(self):
+        """The boost's owner (the remote peer) goes DOWN mid-hold: the
+        baseline revert must defer, and the lease's TTL — not the revert —
+        restores the true original weight."""
+        testbed = armed_testbed()
+        testbed.create_guest_vm("guest")
+        entity = EntityId("ixp", "guest")
+        knobs = testbed.ixp.knobs
+        queue = testbed.ixp.flow_queues["guest"]
+        original = queue.service_weight
+        hold = testbed.ixp.params.monitor_period * 4
+
+        testbed.x86_agent.send_trigger(entity, reason="boost")
+        testbed.run(ms(1))  # delivered and applied; hold is 2 ms
+        assert queue.service_weight > original
+        assert knobs.active_leases(entity) == 1
+
+        # The boost's owner dies: peer-DOWN degradation reverts baselines.
+        testbed.ixp_agent.revert_to_baselines("peer-down:test")
+        deferred = [
+            record for record in knobs.audit
+            if record.op == "revert" and record.entity == str(entity)
+        ]
+        assert deferred and deferred[-1].outcome == "deferred"
+        # The revert did NOT force the value: the lease still owns it.
+        assert queue.service_weight > original
+
+        testbed.run(testbed.sim.now + hold + ms(1))
+        assert queue.service_weight == original  # TTL restored the truth
+        assert knobs.active_leases(entity) == 0
+        assert knobs.outstanding_leases() == 0
+
+        # A revert after expiry is a no-op (already at baseline).
+        testbed.ixp_agent.revert_to_baselines("peer-down:again")
+        assert queue.service_weight == original
+
+    def test_overlapping_leases_refcount_back_to_original(self):
+        """Two boosts inside one hold stack levels; the expiries peel back
+        to exactly the pre-trigger weight, and the audit balances."""
+        testbed = armed_testbed()
+        testbed.create_guest_vm("guest")
+        entity = EntityId("ixp", "guest")
+        knobs = testbed.ixp.knobs
+        queue = testbed.ixp.flow_queues["guest"]
+        original = queue.service_weight
+        hold = testbed.ixp.params.monitor_period * 4
+
+        testbed.x86_agent.send_trigger(entity, reason="first")
+        testbed.run(ms(1))
+        first_boost = queue.service_weight
+        testbed.x86_agent.send_trigger(entity, reason="second")
+        testbed.run(testbed.sim.now + hold // 4)
+        assert knobs.active_leases(entity) == 2
+        assert queue.service_weight > first_boost
+
+        testbed.run(testbed.sim.now + 2 * hold)
+        assert knobs.active_leases(entity) == 0
+        assert knobs.outstanding_leases() == 0
+        assert queue.service_weight == original
+
+        audit = knobs.audit
+        triggers = [r for r in audit if r.op == "trigger" and r.entity == str(entity)]
+        releases = [
+            r for r in audit
+            if r.op == "trigger-release" and r.entity == str(entity)
+        ]
+        assert len(triggers) == len(releases) == 2
+
+    def test_crashed_sender_cannot_mint_new_leases(self):
+        """A crashed agent's Triggers are suppressed at the source, so no
+        lease can be created by a dead manager."""
+        testbed = armed_testbed()
+        testbed.create_guest_vm("guest")
+        entity = EntityId("ixp", "guest")
+        testbed.run(ms(1))
+
+        testbed.x86_agent.crash()
+        testbed.x86_agent.send_trigger(entity, reason="from-the-grave")
+        testbed.run(testbed.sim.now + ms(5))
+        assert testbed.ixp.knobs.outstanding_leases() == 0
+        assert testbed.x86_agent.suppressed_sends == 1

@@ -1,0 +1,115 @@
+"""Fault plans: validation, immutability, and up-front randomness."""
+
+import pytest
+
+from repro.faults import (
+    ActuationFault,
+    AgentCrash,
+    ChannelBlackout,
+    FaultConfig,
+    FaultPlan,
+    ManagerStall,
+)
+from repro.sim import RandomStreams, ms, seconds
+
+
+class TestEventValidation:
+    def test_blackout_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ChannelBlackout(start=-1, duration=ms(1))
+        with pytest.raises(ValueError):
+            ChannelBlackout(start=0, duration=0)
+        with pytest.raises(ValueError, match="direction"):
+            ChannelBlackout(start=0, duration=ms(1), direction="sideways")
+
+    def test_blackout_end(self):
+        event = ChannelBlackout(start=ms(10), duration=ms(5))
+        assert event.end == ms(15)
+
+    def test_crash_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            AgentCrash(agent="ixp", start=-1)
+        with pytest.raises(ValueError):
+            AgentCrash(agent="ixp", start=0, restart_after=0)
+        AgentCrash(agent="ixp", start=0, restart_after=None)  # dead forever: fine
+
+    def test_stall_and_actuation_fault_validated(self):
+        with pytest.raises(ValueError):
+            ManagerStall(agent="x86", start=0, duration=0)
+        with pytest.raises(ValueError):
+            ActuationFault(island="ixp", start=0, duration=-5)
+        assert ActuationFault(island="ixp", start=ms(1), duration=ms(2)).end == ms(3)
+
+    def test_events_are_frozen(self):
+        event = ChannelBlackout(start=0, duration=ms(1))
+        with pytest.raises(AttributeError):
+            event.start = ms(5)
+
+
+class TestFaultPlan:
+    def test_events_normalised_to_tuple(self):
+        plan = FaultPlan(events=[ChannelBlackout(start=0, duration=ms(1))])
+        assert isinstance(plan.events, tuple)
+        assert len(plan) == 1
+
+    def test_blackout_windows_sorted(self):
+        plan = FaultPlan((
+            ChannelBlackout(start=ms(30), duration=ms(5)),
+            AgentCrash(agent="ixp", start=ms(1)),
+            ChannelBlackout(start=ms(10), duration=ms(5)),
+        ))
+        assert plan.blackout_windows() == [(ms(10), ms(15)), (ms(30), ms(35))]
+
+    def test_random_blackouts_deterministic_per_seed(self):
+        kwargs = dict(
+            window_start=seconds(1), window_end=seconds(10),
+            count=4, mean_duration=ms(200),
+        )
+        a = FaultPlan.random_blackouts(RandomStreams(42), **kwargs)
+        b = FaultPlan.random_blackouts(RandomStreams(42), **kwargs)
+        c = FaultPlan.random_blackouts(RandomStreams(43), **kwargs)
+        assert a == b
+        assert a != c
+
+    def test_random_blackouts_inside_window_and_disjoint(self):
+        plan = FaultPlan.random_blackouts(
+            RandomStreams(7),
+            window_start=seconds(2), window_end=seconds(8),
+            count=5, mean_duration=ms(100),
+        )
+        windows = plan.blackout_windows()
+        assert windows  # at least some placements succeeded
+        for start, end in windows:
+            assert seconds(2) <= start < end <= seconds(8)
+        for (_, first_end), (second_start, _) in zip(windows, windows[1:]):
+            assert first_end <= second_start
+
+    def test_random_plan_does_not_perturb_other_streams(self):
+        """Plan generation draws only from its own named child stream."""
+        plain = RandomStreams(11)
+        with_plan = RandomStreams(11)
+        FaultPlan.random_blackouts(
+            with_plan,
+            window_start=0, window_end=seconds(5),
+            count=3, mean_duration=ms(50),
+        )
+        a = [plain.stream("workload").random() for _ in range(20)]
+        b = [with_plan.stream("workload").random() for _ in range(20)]
+        assert a == b
+
+
+class TestFaultConfig:
+    def test_defaults_valid(self):
+        config = FaultConfig()
+        assert config.heartbeat_period == ms(50)
+        assert len(config.plan) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(heartbeat_period=0)
+        with pytest.raises(ValueError):
+            FaultConfig(suspect_misses=0)
+        with pytest.raises(ValueError, match="down_misses"):
+            FaultConfig(suspect_misses=4, down_misses=2)
+        with pytest.raises(ValueError):
+            FaultConfig(dead_letter_down=0)

@@ -3,7 +3,9 @@
 The prototype's PCI-config-space mailbox is unacknowledged; a lost Tune is
 simply a stale weight until the next one. These tests drop coordination
 messages (and entire message classes) and check the platform keeps
-working and the policies re-converge.
+working and the policies re-converge. Loss is configured the supported
+way — ``ChannelConfig(loss_probability=...)`` — so the testbed wires the
+lossy channel (and its named RNG stream) itself.
 """
 
 import pytest
@@ -12,7 +14,7 @@ from repro.apps.rubis import RubisConfig, deploy_rubis
 from repro.interconnect import CoordinationChannel
 from repro.platform import EntityId
 from repro.sim import RandomStreams, Simulator, ms, seconds
-from repro.testbed import Testbed, TestbedConfig
+from repro.testbed import ChannelConfig, Testbed, TestbedConfig
 
 
 class TestLossyChannel:
@@ -22,6 +24,21 @@ class TestLossyChannel:
             CoordinationChannel(sim, loss_probability=1.5)
         with pytest.raises(ValueError):
             CoordinationChannel(sim, loss_probability=0.5)  # rng missing
+
+    def test_channel_config_validates_loss_probability(self):
+        """Satellite of the fault-domain work: a bad sweep value fails at
+        config construction with the offending value, not mid-build."""
+        with pytest.raises(ValueError, match="loss_probability"):
+            ChannelConfig(loss_probability=1.0)
+        with pytest.raises(ValueError, match="-0.1"):
+            ChannelConfig(loss_probability=-0.1)
+        with pytest.raises(ValueError, match="latency"):
+            ChannelConfig(latency=-1)
+        with pytest.raises(ValueError, match="reliable_max_retries"):
+            ChannelConfig(reliable_max_retries=-1)
+        # The valid range boundary: 0 is lossless, just-below-1 is legal.
+        ChannelConfig(loss_probability=0.0)
+        ChannelConfig(loss_probability=0.999)
 
     def test_messages_dropped_at_configured_rate(self):
         sim = Simulator()
@@ -47,28 +64,14 @@ class TestLossyChannel:
 
 
 class TestPolicyRobustness:
-    def _lossy_testbed(self, loss):
-        testbed = Testbed(TestbedConfig(seed=5))
-        # Swap in a lossy channel after construction: rebind endpoints.
-        lossy = CoordinationChannel(
-            testbed.sim,
-            latency=testbed.channel.latency,
-            loss_probability=loss,
-            rng=testbed.rng.stream("channel-loss"),
-        )
-        return testbed, lossy
-
     def test_tunes_eventually_converge_despite_loss(self):
         """A policy that keeps nudging reaches its target through a lossy
         channel — later messages compensate for dropped ones."""
-        testbed, lossy = self._lossy_testbed(loss=0.4)
-        vm, _ = testbed.create_guest_vm("guest")
-        from repro.coordination import CoordinationAgent
-
-        sender = CoordinationAgent(testbed.sim, testbed.ixp, lossy.endpoint("ixp"))
-        CoordinationAgent(
-            testbed.sim, testbed.x86, lossy.endpoint("x86"), handler_vm=testbed.dom0
+        testbed = Testbed(
+            TestbedConfig(seed=5, channel=ChannelConfig(loss_probability=0.4))
         )
+        vm, _ = testbed.create_guest_vm("guest")
+        sender = testbed.ixp_agent
 
         def nudger(sim):
             # Steer toward 512 with bounded steps, re-reading the actual
@@ -82,7 +85,7 @@ class TestPolicyRobustness:
         testbed.sim.spawn(nudger(testbed.sim))
         testbed.run(seconds(2))
         assert vm.weight == 512
-        assert lossy.messages_lost > 0
+        assert testbed.channel.messages_lost > 0
 
     def test_rubis_still_beats_baseline_with_lossy_tunes(self):
         """Even dropping 30% of Tunes, coordination should not be *worse*
@@ -94,12 +97,13 @@ class TestPolicyRobustness:
                 requests_per_session=10,
                 think_time_mean=ms(300),
                 warmup=seconds(4),
+                testbed=TestbedConfig(
+                    channel=ChannelConfig(loss_probability=loss),
+                    driver_poll_burn_duty=0.5,
+                ),
             )
             deployment = deploy_rubis(config)
-            if coordinated and loss:
-                channel = deployment.testbed.channel
-                channel.loss_probability = 0.3
-                channel.rng = deployment.testbed.rng.stream("loss")
+            assert deployment.testbed.channel.loss_probability == loss
             deployment.run(seconds(24))
             return deployment.client.stats.throughput.rate_per_second()
 

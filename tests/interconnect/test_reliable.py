@@ -307,3 +307,69 @@ class TestRawChannelAccounting:
         stats = channel.stats()
         assert stats["sent"] == 1 and stats["received"] == 1
         assert stats["dropped"] == 0 and stats["raw_lost"] == 0
+
+
+class TestDeadLetterSurfacing:
+    """The on_dead_letter hook and per-entity counts (fault-domain feed)."""
+
+    def _blackout_pair(self, sim, config):
+        raw = CoordinationChannel(
+            sim,
+            latency=us(100),
+            loss_probability=0.999,
+            rng=RandomStreams(9).stream("loss"),
+        )
+        wrapped = ReliableChannel(raw, config)
+        wrapped.endpoint("x86").set_receiver(lambda m: None)
+        return wrapped
+
+    def test_on_dead_letter_hook_fires_per_dead_frame(self):
+        sim = Simulator()
+        wrapped = self._blackout_pair(sim, ReliableConfig(max_retries=1))
+        seen = []
+        sender = wrapped.endpoint("ixp")
+        sender.on_dead_letter = seen.append
+        for i in range(20):
+            sender.send(i)
+        sim.run()
+        assert sender.dead_lettered > 0
+        assert len(seen) == sender.dead_lettered
+        assert all(message in range(20) for message in seen)
+
+    def test_dead_letters_keyed_per_entity(self):
+        from repro.coordination import TuneMessage
+        from repro.platform import EntityId
+
+        sim = Simulator()
+        wrapped = self._blackout_pair(sim, ReliableConfig(max_retries=1))
+        sender = wrapped.endpoint("ixp")
+        web = EntityId("x86", "web")
+        db = EntityId("x86", "db")
+        for _ in range(6):
+            sender.send(TuneMessage(entity=web, delta=1))
+        for _ in range(3):
+            sender.send(TuneMessage(entity=db, delta=-1))
+        sender.send("no-entity-attribute")
+        sim.run()
+        per_entity = wrapped.dead_letters_by_entity()
+        # Only entity-bearing messages are keyed; totals never exceed the
+        # dead-letter counter and every key is a stringified entity id.
+        assert sum(per_entity.values()) <= sender.dead_lettered
+        assert set(per_entity) <= {"x86/web", "x86/db"}
+        assert per_entity.get("x86/web", 0) > 0
+
+    def test_controller_channel_health_exposes_per_entity_counts(self):
+        from repro.coordination import TuneMessage
+        from repro.platform import EntityId, GlobalController
+
+        sim = Simulator()
+        wrapped = self._blackout_pair(sim, ReliableConfig(max_retries=1))
+        controller = GlobalController(sim)
+        controller.register_channel("ixp-x86", wrapped)
+        for _ in range(8):
+            wrapped.endpoint("ixp").send(TuneMessage(entity=EntityId("x86", "web"), delta=1))
+        sim.run()
+        health = controller.channel_health()["ixp-x86"]
+        assert "dead_letters_by_entity" in health
+        assert health["dead_letters_by_entity"] == wrapped.dead_letters_by_entity()
+        assert health["dead_lettered"] > 0

@@ -1,0 +1,65 @@
+"""HealthCollector: the trace-side view of the fault domain."""
+
+from repro.faults import ChannelBlackout, FaultConfig, FaultPlan
+from repro.metrics import HealthCollector
+from repro.sim import ms, seconds
+from repro.testbed import Testbed, TestbedConfig
+
+BLACKOUT = ChannelBlackout(start=ms(500), duration=ms(420))
+
+
+def traced_chaos_testbed(seed=3):
+    testbed = Testbed(TestbedConfig(
+        seed=seed,
+        tracing=True,
+        faults=FaultConfig(plan=FaultPlan((BLACKOUT,))),
+    ))
+    collector = HealthCollector(testbed.sim, testbed.tracer)
+    return testbed, collector
+
+
+class TestHealthCollector:
+    def test_state_timeline_matches_detector_transitions(self):
+        testbed, collector = traced_chaos_testbed()
+        testbed.run(seconds(2))
+        for side in ("ixp", "x86"):
+            detector_view = [
+                (time, state)
+                for time, state, _reason in testbed.detectors[side].transitions
+                if state != "up" or time > 0  # the init entry is not traced
+            ]
+            assert collector.transitions(side) == detector_view
+
+    def test_latency_helpers(self):
+        testbed, collector = traced_chaos_testbed()
+        testbed.run(seconds(2))
+        for side in ("ixp", "x86"):
+            detection = collector.detection_latency(side, BLACKOUT.start)
+            recovery = collector.recovery_latency(side, BLACKOUT.end)
+            assert detection is not None and 0 < detection <= ms(250)
+            assert recovery is not None and 0 < recovery <= ms(250)
+            assert collector.downtime(side) > 0
+        assert collector.detection_latency("ixp", seconds(10)) is None
+
+    def test_counts_and_events(self):
+        testbed, collector = traced_chaos_testbed()
+        testbed.run(seconds(2))
+        totals = collector.totals()
+        assert totals["heartbeat-sent"] > 0
+        assert totals["heartbeat-received"] > 0
+        assert totals["peer-down"] == 2  # one per side
+        assert totals["epoch-bump"] == 2
+        assert totals["fault-injected"] == 1
+        assert totals["fault-cleared"] == 1
+        # Heartbeats are counted but never logged as events.
+        assert all(kind not in ("heartbeat-sent", "heartbeat-received")
+                   for _time, kind, _payload in collector.events)
+        first = collector.first_event("fault-injected")
+        assert first is not None and first[0] == BLACKOUT.start
+
+    def test_downtime_clipped_to_horizon(self):
+        testbed, collector = traced_chaos_testbed()
+        testbed.run(ms(800))  # still inside the blackout, peers DOWN
+        for side in ("ixp", "x86"):
+            down = collector.downtime(side)
+            assert 0 < down <= ms(800)

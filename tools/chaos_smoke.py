@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CI smoke check for the fault domain.
+
+Runs one short chaos arm — coordinated RUBiS over the reliable channel
+with a scripted 500 ms blackout of the coordination mailbox — and asserts
+the full fault arc happened:
+
+* both failure detectors left UP during the blackout (detection),
+* the actuation audit shows a baseline revert (degraded-mode fallback),
+* both detectors returned to UP and bumped their agent's epoch (recovery),
+* the x86 tier weights reconverged onto the policy's desired snapshot,
+* and no transient boost lease is still held after the drain window.
+
+Exits non-zero on any mismatch.
+
+Run as: PYTHONPATH=src python tools/chaos_smoke.py
+"""
+
+import sys
+
+from repro.experiments import run_chaos_arm
+from repro.sim import ms
+
+
+def main() -> int:
+    arm = run_chaos_arm(blackout=ms(500), seed=1)
+
+    for side in ("ixp", "x86"):
+        assert arm.detection_ms[side] >= 0, f"{side} never detected the blackout"
+        assert arm.recovery_ms[side] >= 0, f"{side} never recovered"
+        assert arm.epoch[side] == 1, (
+            f"{side} epoch {arm.epoch[side]} != 1 after one outage round-trip"
+        )
+    assert arm.fallback_ms >= 0, "no baseline revert appeared in the audit"
+    assert arm.reconverge_ms >= 0, "tier weights never reconverged onto the shadow"
+    assert arm.stuck_leases == 0, f"{arm.stuck_leases} boost lease(s) stuck"
+    assert arm.tunes_suppressed > 0, "degraded mode never suppressed a Tune"
+    assert arm.replays_sent > 0, "recovery never replayed the desired snapshot"
+
+    print(
+        "chaos smoke OK: "
+        f"detect {arm.detection_ms['ixp']:.0f}/{arm.detection_ms['x86']:.0f} ms, "
+        f"fallback {arm.fallback_ms:.0f} ms, "
+        f"recover {arm.recovery_ms['ixp']:.0f}/{arm.recovery_ms['x86']:.0f} ms, "
+        f"reconverge {arm.reconverge_ms:.0f} ms, "
+        f"{arm.replays_sent} replays, {arm.tunes_suppressed} suppressed, "
+        f"{arm.stuck_leases} stuck leases"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
