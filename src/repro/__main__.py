@@ -7,6 +7,7 @@ Usage::
     python -m repro mplayer-qos          # Figure 6
     python -m repro buffer-trigger       # Figure 7 + Table 3
     python -m repro power-cap [--cap W]  # extension experiment
+    python -m repro energyqos            # energy/QoS co-optimization
     python -m repro chaos                # robustness blackout sweep
     python -m repro trace [--out F]      # traced run -> chrome://tracing JSON
     python -m repro all                  # everything (several minutes)
@@ -40,12 +41,14 @@ from .experiments import (
     render_figure4,
     render_figure5,
     render_figure6,
+    render_energy_qos,
     render_figure7,
     render_power_cap,
     render_table1,
     render_table2,
     render_table3,
     run_chaos_sweep,
+    run_energy_qos,
     run_power_cap,
     run_qos_ladder,
     run_rubis_pair,
@@ -91,6 +94,13 @@ def cmd_buffer_trigger(args) -> None:
             artefacts=("power-cap",))
 def cmd_power_cap(args) -> None:
     _emit(render_power_cap(run_power_cap(cap_w=args.cap, seed=args.seed)))
+
+
+@experiment("energyqos", help="Extension: energy/QoS co-optimization across "
+            "DVFS, LLC ways and memory bandwidth (vs both ablations)",
+            artefacts=("energyqos",))
+def cmd_energyqos(args) -> None:
+    _emit(render_energy_qos(run_energy_qos(seed=args.seed)))
 
 
 @experiment("chaos", help="Robustness: blackout sweep — detection, fallback, "

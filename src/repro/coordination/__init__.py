@@ -9,6 +9,12 @@ from .agent import (
 )
 from .buffer_monitor import DEFAULT_THRESHOLD_BYTES, BufferMonitorTriggerPolicy
 from .coschedule import GpuCoschedulePolicy
+from .energy_policy import (
+    ENERGY_QOS_MODES,
+    MIN_PREDICTED_GAIN,
+    EnergyQosGovernor,
+    QosTarget,
+)
 from .messages import CoordinationMessage, RegisterMessage, TriggerMessage, TuneMessage
 from .mplayer_policy import (
     HIGH_BITRATE_BPS,
@@ -25,8 +31,12 @@ __all__ = [
     "BufferMonitorTriggerPolicy",
     "CoordinationAgent",
     "CoordinationMessage",
+    "ENERGY_QOS_MODES",
+    "EnergyQosGovernor",
     "GpuCoschedulePolicy",
     "DEFAULT_THRESHOLD_BYTES",
+    "MIN_PREDICTED_GAIN",
+    "QosTarget",
     "HIGH_BITRATE_BPS",
     "HIGH_FRAMERATE_FPS",
     "MESSAGE_HANDLING_COST",

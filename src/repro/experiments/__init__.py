@@ -31,6 +31,14 @@ from .mplayer import (
     run_trigger_pair,
     trigger_config,
 )
+from .energyqos import (
+    GUEST_SPECS,
+    EnergyQosArmResult,
+    EnergyQosResult,
+    render_energy_qos,
+    run_energy_qos,
+    run_energy_qos_arm,
+)
 from .power import (
     PowerCapArmResult,
     PowerCapResult,
@@ -80,9 +88,15 @@ __all__ = [
     "RubisRunResult",
     "TriggerPairResult",
     "TriggerRunResult",
+    "EnergyQosArmResult",
+    "EnergyQosResult",
+    "GUEST_SPECS",
     "PowerCapArmResult",
     "PowerCapResult",
+    "render_energy_qos",
     "render_power_cap",
+    "run_energy_qos",
+    "run_energy_qos_arm",
     "run_power_cap",
     "run_power_cap_arm",
     "default_workers",

@@ -16,6 +16,12 @@ from .collector import (
     WindowedCounter,
 )
 from .efficiency import platform_efficiency
+from .energyqos import (
+    ENERGY_QOS_KNOB_KINDS,
+    EnergyQosCollector,
+    QosCheck,
+    WindowedQosSource,
+)
 from .health import HealthCollector
 from .response import ResponseTimeRecorder
 from .timeline import RunInterval, SchedulingTimeline
@@ -26,7 +32,11 @@ __all__ = [
     "CHANNEL_TRACE_KINDS",
     "ChannelReliabilityCollector",
     "CpuUtilizationSampler",
+    "ENERGY_QOS_KNOB_KINDS",
+    "EnergyQosCollector",
+    "QosCheck",
     "RAW_DROP_KIND",
+    "WindowedQosSource",
     "RELIABLE_TRACE_KINDS",
     "HealthCollector",
     "LatencyBreakdown",

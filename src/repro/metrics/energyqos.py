@@ -1,0 +1,151 @@
+"""Energy/QoS measurement: sliding-window latency percentiles and the
+per-mode scoreboard of the energy/QoS co-optimization experiment.
+
+The :class:`WindowedQosSource` is what closes the loop for the
+coordinated governor: unlike :class:`~repro.metrics.response.
+ResponseTimeRecorder` (whole-run summaries), it answers "what is this
+VM's p95 *right now*", over a sliding window, so a policy reacting to it
+sees the effect of its own actuations a window later — the real feedback
+delay of a latency-driven controller.
+
+The :class:`EnergyQosCollector` is policy-independent: it samples QoS
+compliance on its own clock, so the DVFS-only and partition-only
+ablations are scored by exactly the same observer as the coordinated
+mode. Power and actuation inputs are duck-typed (``meter.energy_j`` /
+``knobs.audit``) to keep :mod:`repro.metrics` free of upward imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Simulator, seconds, to_ms
+from .stats import percentile
+
+#: Knob kinds the energy/QoS experiment attributes actuations to.
+ENERGY_QOS_KNOB_KINDS = ("dvfs-level", "llc-ways", "bw-share", "prefetch-throttle")
+
+
+class WindowedQosSource:
+    """Sliding-window response-time percentiles, keyed by VM name."""
+
+    def __init__(self, sim: Simulator, window: int = seconds(4)):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.sim = sim
+        self.window = window
+        self._samples: dict[str, list[tuple[int, int]]] = {}
+
+    def record(self, key: str, latency: int) -> None:
+        """Add one latency observation (clock ticks) for ``key``."""
+        if latency < 0:
+            raise ValueError(f"negative latency {latency} for {key!r}")
+        self._samples.setdefault(key, []).append((self.sim.now, latency))
+
+    def _window_values(self, key: str) -> list[int]:
+        samples = self._samples.get(key)
+        if not samples:
+            return []
+        horizon = self.sim.now - self.window
+        # Samples arrive in time order; drop the expired prefix in place so
+        # repeated reads stay O(window), not O(run).
+        drop = 0
+        while drop < len(samples) and samples[drop][0] < horizon:
+            drop += 1
+        if drop:
+            del samples[:drop]
+        return [latency for _when, latency in samples]
+
+    def p95_ms(self, key: str) -> Optional[float]:
+        """p95 of ``key``'s last window, in ms (None while empty)."""
+        values = self._window_values(key)
+        if not values:
+            return None
+        return to_ms(percentile(sorted(values), 95.0))
+
+    def count(self, key: str) -> int:
+        """Observations currently inside ``key``'s window."""
+        return len(self._window_values(key))
+
+
+@dataclass
+class QosCheck:
+    """One compliance sample of one VM."""
+
+    time: int
+    vm: str
+    p95_ms: float
+    target_ms: float
+
+    @property
+    def violated(self) -> bool:
+        return self.p95_ms > self.target_ms
+
+
+class EnergyQosCollector:
+    """Scores one experiment arm: QoS violations, energy, actuations.
+
+    Samples every managed VM's windowed p95 against its target once per
+    ``period``; checks before ``measure_from`` (warm-up) are not counted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        targets: dict[str, float],
+        source: WindowedQosSource,
+        period: int = seconds(1),
+        measure_from: int = 0,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.targets = dict(targets)
+        self.source = source
+        self.period = period
+        self.measure_from = measure_from
+        self.checks: list[QosCheck] = []
+        self.violations = 0
+        self.violations_by_vm: dict[str, int] = {vm: 0 for vm in targets}
+        sim.spawn(self._loop(), name="energyqos-collector")
+
+    def _loop(self):
+        while True:
+            yield self.sim.timeout(self.period)
+            if self.sim.now < self.measure_from:
+                continue
+            for vm, target_ms in self.targets.items():
+                p95 = self.source.p95_ms(vm)
+                if p95 is None:
+                    continue
+                check = QosCheck(time=self.sim.now, vm=vm, p95_ms=p95, target_ms=target_ms)
+                self.checks.append(check)
+                if check.violated:
+                    self.violations += 1
+                    self.violations_by_vm[vm] += 1
+
+    # -- scoring ------------------------------------------------------------
+
+    def actuation_counts(self, knobs) -> dict[str, int]:
+        """Non-zero Tunes per energy/QoS knob kind in ``knobs``' audit."""
+        counts = {kind: 0 for kind in ENERGY_QOS_KNOB_KINDS}
+        for record in knobs.audit:
+            if record.op != "tune" or not record.requested_delta:
+                continue
+            if record.kind in counts:
+                counts[record.kind] += 1
+        return counts
+
+    def summary(self, meter=None, knobs=None) -> dict:
+        """The arm's scoreboard (energy/actuations when inputs given)."""
+        out: dict = {
+            "checks": len(self.checks),
+            "violations": self.violations,
+            "violations_by_vm": dict(self.violations_by_vm),
+        }
+        if meter is not None:
+            out["energy_j"] = meter.energy_j()
+        if knobs is not None:
+            out["actuations"] = self.actuation_counts(knobs)
+        return out

@@ -198,6 +198,9 @@ class KnobRegistry:
         self.tracer = tracer or Tracer(sim, enabled=False)
         self._knobs: dict[EntityId, Knob] = {}
         self._leases: dict[EntityId, _LeaseState] = {}
+        #: Most recent audit record per entity (race-guard lookups stay
+        #: O(1) regardless of audit length or trimming).
+        self._last: dict[EntityId, ActuationRecord] = {}
         #: Monotonic per-registry actuation counter (audit determinism).
         self._seq = 0
         self.audit: list[ActuationRecord] = []
@@ -287,9 +290,17 @@ class KnobRegistry:
         )
         self._seq += 1
         self.audit.append(record)
+        self._last[entity_id] = record
         if len(self.audit) > self.audit_limit:
             del self.audit[: len(self.audit) - self.audit_limit]
         return record
+
+    def last_actuation(self, entity_id: EntityId) -> Optional[ActuationRecord]:
+        """The most recent audit record touching ``entity_id`` (None if
+        the entity was never actuated). Governors use this to detect a
+        same-instant actuation by a racing peer before stepping a shared
+        knob like the DVFS ladder."""
+        return self._last.get(entity_id)
 
     def _emit_span_applied(self, span: Any, record: ActuationRecord) -> None:
         """Close a causal span at its actuation (t5 of the control loop).
@@ -372,6 +383,14 @@ class KnobRegistry:
         applied = knob.apply(target)
         if applied is None:  # tolerate apply callbacks with no return
             applied = knob.read()
+        lease = self._leases.get(entity_id)
+        if lease is not None and lease.level > 0:
+            # A Tune landing while a boost lease is held must survive the
+            # lease: rebase the captured original (and thus every stacked
+            # re-derivation at release time) by the same delta, clamped
+            # independently. Without this, expiry restored the pre-lease
+            # value and silently undid the Tune — the stale-restore bug.
+            lease.original = knob.clamp(lease.original + delta * knob.step)
         clamped = applied != requested
         outcome = "clamped" if clamped else "applied"
         record = self._record(

@@ -51,18 +51,45 @@ class _DvfsActuator:
         self.dvfs_entity = EntityId(x86.name, "dvfs")
         self.steps_down = 0
         self.steps_up = 0
+        #: Steps withheld because another actor moved the ladder at this
+        #: same instant (two governors reacting to one meter sample).
+        self.steps_deferred = 0
 
     @property
     def current_speed(self) -> float:
         """Speed of core 0 (all cores are stepped together)."""
         return self.x86.scheduler.cpus[0].speed
 
+    def _raced(self) -> bool:
+        """Whether another actor already stepped the ladder this instant.
+
+        Two governors sharing one meter (local + coordinated racing, or a
+        coordinated energy policy alongside a cap governor) would both see
+        the same over/under-budget sample and double-step the ladder.
+        The actuation audit is the shared ground truth: if a non-zero Tune
+        on the dvfs entity already landed at this simulation time, this
+        actuator yields its step.
+        """
+        last = self.x86.knobs.last_actuation(self.dvfs_entity)
+        return (
+            last is not None
+            and last.time == self.x86.sim.now
+            and last.op == "tune"
+            and bool(last.requested_delta)
+        )
+
     def actuate(self, measured_w: float, allowance_w: float) -> None:
         if measured_w > allowance_w:
+            if self._raced():
+                self.steps_deferred += 1
+                return
             record = self.x86.apply_tune(self.dvfs_entity, -1)
             if record.applied_value != record.previous_value:
                 self.steps_down += 1
         elif measured_w < allowance_w - self.hysteresis_w:
+            if self._raced():
+                self.steps_deferred += 1
+                return
             record = self.x86.apply_tune(self.dvfs_entity, +1)
             if record.applied_value != record.previous_value:
                 self.steps_up += 1

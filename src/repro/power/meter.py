@@ -51,7 +51,9 @@ class PowerMeter:
         self.ixp_model = ixp_model or IXPPowerModel()
         self.window = window
         self.samples: list[PowerSample] = []
-        self._last_idle = [cpu.idle_time for cpu in x86.scheduler.cpus]
+        self._last_busy_by_speed: list[dict[float, int]] = [
+            dict(cpu.busy_by_speed) for cpu in x86.scheduler.cpus
+        ]
         self._last_busy = [me.busy_time for me in ixp.microengines]
         sim.spawn(self._loop(), name="power-meter")
 
@@ -63,11 +65,18 @@ class PowerMeter:
     def _sample(self) -> PowerSample:
         x86_w = 0.0
         for i, cpu in enumerate(self.x86.scheduler.cpus):
-            idle = cpu.idle_time
-            idle_delta = idle - self._last_idle[i]
-            self._last_idle[i] = idle
-            utilization = max(0.0, 1.0 - idle_delta / self.window)
-            x86_w += self.core_model.power(min(1.0, utilization), cpu.speed)
+            # Busy time this window, split by the DVFS speed it ran at.
+            # A mid-window frequency step therefore bills each slice at
+            # its true speed instead of pricing the whole window at the
+            # end-of-window level.
+            previous = self._last_busy_by_speed[i]
+            fractions: dict[float, float] = {}
+            for speed, total in cpu.busy_by_speed.items():
+                delta = total - previous.get(speed, 0)
+                if delta > 0:
+                    fractions[speed] = delta / self.window
+            self._last_busy_by_speed[i] = dict(cpu.busy_by_speed)
+            x86_w += self.core_model.power_integrated(fractions)
 
         engine_utils = []
         for i, me in enumerate(self.ixp.microengines):

@@ -38,6 +38,22 @@ class CorePowerModel:
             raise ValueError(f"speed must be in (0,1], got {speed}")
         return self.static_w + self.dynamic_w * utilization * speed**self.speed_exponent
 
+    def power_integrated(self, busy_fractions: dict[float, float]) -> float:
+        """Mean watts over a window whose busy time is split by DVFS speed.
+
+        ``busy_fractions`` maps speed -> fraction of the window spent busy
+        at that speed. Pricing each slice at its own speed makes the energy
+        integral exact across mid-window frequency changes, where
+        :meth:`power` with the end-of-window speed would mis-bill the whole
+        window at whatever level the ladder happened to finish on.
+        """
+        dynamic = 0.0
+        for speed, fraction in busy_fractions.items():
+            if not 0.0 < speed <= 1.0:
+                raise ValueError(f"speed must be in (0,1], got {speed}")
+            dynamic += self.dynamic_w * max(0.0, min(1.0, fraction)) * speed**self.speed_exponent
+        return self.static_w + dynamic
+
 
 @dataclass(frozen=True, slots=True)
 class IXPPowerModel:

@@ -3,7 +3,14 @@
 from .cpu import PhysicalCPU
 from .credit import CreditScheduler
 from .guest import GuestAccounting, GuestKernel, WorkItem
-from .island import DOM0_NAME, X86Island
+from .island import DOM0_NAME, DVFS_LADDER, X86Island
+from .llc import (
+    MAX_BW_SHARE,
+    MemoryKnobTarget,
+    MemoryProfile,
+    MemorySystem,
+    MemorySystemParams,
+)
 from .params import CreditParams, X86Params
 from .vcpu import VCPU, Priority, VCPUState
 from .vm import VirtualMachine
@@ -13,6 +20,12 @@ __all__ = [
     "CreditParams",
     "CreditScheduler",
     "DOM0_NAME",
+    "DVFS_LADDER",
+    "MAX_BW_SHARE",
+    "MemoryKnobTarget",
+    "MemoryProfile",
+    "MemorySystem",
+    "MemorySystemParams",
     "GuestAccounting",
     "GuestKernel",
     "MAX_WEIGHT",

@@ -38,6 +38,16 @@ class PhysicalCPU:
         self.idle_event: Optional[Event] = None
         self._idle_accum = 0
         self._idle_since: Optional[int] = None
+        #: Busy time partitioned by the DVFS speed it ran at (the ladder
+        #: keeps this map tiny). Lets the power meter integrate dynamic
+        #: energy exactly across mid-window frequency changes instead of
+        #: pricing the whole window at the end-of-window speed.
+        self.busy_by_speed: dict[float, int] = {}
+
+    def note_busy(self, ran: int, speed: float) -> None:
+        """Scheduler hook: ``ran`` ns of execution just ran at ``speed``."""
+        if ran > 0:
+            self.busy_by_speed[speed] = self.busy_by_speed.get(speed, 0) + ran
 
     @property
     def is_idle(self) -> bool:

@@ -317,10 +317,10 @@ class CreditScheduler:
                 yield segment
             except Interrupt:
                 ran = self.sim.now - started
-                self._charge(vcpu, item, ran, self._consumed(ran, item, speed))
+                self._charge(vcpu, item, ran, self._consumed(ran, item, speed), speed)
                 self._yield_cpu(cpu, vcpu)
                 break
-            self._charge(vcpu, item, segment, self._consumed(segment, item, speed))
+            self._charge(vcpu, item, segment, self._consumed(segment, item, speed), speed)
 
         cpu.current = None
         if self.tracer.wants("ctxsw-out"):
@@ -340,12 +340,27 @@ class CreditScheduler:
         vcpu.runnable_since = self.sim.now
         self._enqueue(cpu, vcpu, at_head=False)
 
-    def _charge(self, vcpu: VCPU, item, ran: int, consumed: Optional[int] = None) -> None:
-        """Account ``ran`` wall-ns (retiring ``consumed`` demand-ns)."""
+    def _charge(
+        self,
+        vcpu: VCPU,
+        item,
+        ran: int,
+        consumed: Optional[int] = None,
+        speed: Optional[float] = None,
+    ) -> None:
+        """Account ``ran`` wall-ns (retiring ``consumed`` demand-ns).
+
+        ``speed`` is the DVFS speed the burst actually ran at (the core's
+        current speed may already have changed when a DVFS transition
+        preempted this very burst); it feeds the per-speed busy split the
+        power meter integrates energy from.
+        """
         if ran <= 0 and item.remaining > 0:
             return
         if consumed is None:
             consumed = ran
+        if vcpu.cpu is not None:
+            vcpu.cpu.note_busy(ran, speed if speed is not None else vcpu.cpu.speed)
         vcpu.runtime += ran
         # Continuous debit: ran * (100 credits / 10 ms). Xen's tick
         # point-samples the running VCPU instead; with this simulator's

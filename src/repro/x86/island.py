@@ -11,7 +11,10 @@ into its native controls:
 * **Tune(disk:vm, ±delta)**   -> disk DRR weight;
 * **Tune(disk, ±delta µs)**   -> I/O dispatcher poll interval;
 * **Tune(mem:vm, ±delta MB)** -> balloon allocation;
-* **Tune(dvfs, ±steps)**      -> platform DVFS ladder level.
+* **Tune(dvfs, ±steps)**      -> platform DVFS ladder level;
+* **Tune(llc:vm, ±ways)**     -> exclusive LLC way partition;
+* **Tune(bw:vm, ±share)**     -> memory-bandwidth share;
+* **Tune(prefetch:vm, ±pct)** -> prefetcher throttle.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from ..platform import EntityId, Island, Knob, TriggerSpec, weight_knob
 from ..sim import Simulator, Tracer
 from .credit import CreditScheduler
 from .diskio import DiskInterface, WeightedIOScheduler
+from .llc import MAX_BW_SHARE, MemoryKnobTarget, MemoryProfile, MemorySystem
 from .memory import BalloonDriver, BalloonTarget
 from .params import X86Params
 from .vm import VirtualMachine
@@ -60,6 +64,12 @@ class X86Island(Island):
         self.scheduler.add_domain(self.dom0)
         self.xenctl = XenCtl(sim, self.scheduler, dom0=self.dom0, tracer=self.tracer)
         self._vms: dict[str, VirtualMachine] = {DOM0_NAME: self.dom0}
+        #: Authoritative DVFS ladder index. The knob's read used to infer
+        #: it by nearest-match on core 0's current speed, which drifted
+        #: after out-of-band ``set_cpu_speed`` calls or mid-ladder speeds
+        #: (an apply(read()) round-trip was not a no-op). The island now
+        #: owns the index; ``apply`` is the only thing that moves it.
+        self._dvfs_index = len(DVFS_LADDER) - 1
         # The all-core DVFS ladder is a platform knob from birth: power
         # governors Tune it (±1 = one ladder step) like any other actuator.
         self.register_entity(
@@ -79,17 +89,15 @@ class X86Island(Island):
     # -- DVFS (all cores stepped together) ----------------------------------
 
     def _dvfs_level(self) -> int:
-        """Current ladder index of core 0 (all cores step together)."""
-        speed = self.scheduler.cpus[0].speed
-        return min(
-            range(len(DVFS_LADDER)), key=lambda i: abs(DVFS_LADDER[i] - speed)
-        )
+        """Current ladder index (authoritative; all cores step together)."""
+        return self._dvfs_index
 
     def _set_dvfs_level(self, level: float) -> int:
         index = max(0, min(len(DVFS_LADDER) - 1, int(round(level))))
         speed = DVFS_LADDER[index]
         for cpu in self.scheduler.cpus:
             self.scheduler.set_cpu_speed(cpu.index, speed)
+        self._dvfs_index = index
         return index
 
     def _dvfs_to_nominal(self) -> None:
@@ -188,6 +196,85 @@ class X86Island(Island):
             ),
         )
         return interface
+
+    # -- optional shared LLC + memory bandwidth --------------------------------
+
+    def attach_memory_system(self, system: MemorySystem) -> None:
+        """Attach a :class:`~repro.x86.llc.MemorySystem` (shared LLC +
+        bandwidth pipe). The system reads the island's DVFS speed so that
+        memory stalls stay frequency-invariant in wall time."""
+        self.memory_system = system
+        system.bind_speed(lambda: self.scheduler.cpus[0].speed)
+
+    def memory_manage(
+        self,
+        vm: VirtualMachine,
+        profile: Optional[MemoryProfile] = None,
+        ways: int = 4,
+        bw_share: int = 100,
+        prefetch_throttle: int = 0,
+    ) -> None:
+        """Put a domain under the shared memory model and expose its three
+        uncore controls as typed knobs:
+
+        * ``llc:<vm>``      — exclusive LLC way partition (``llc-ways``);
+        * ``bw:<vm>``       — relative bandwidth share (``bw-share``);
+        * ``prefetch:<vm>`` — prefetcher throttle percent
+          (``prefetch-throttle``).
+        """
+        system = getattr(self, "memory_system", None)
+        if system is None:
+            raise RuntimeError("no memory system attached to this island")
+        system.manage(
+            vm,
+            profile,
+            ways=ways,
+            bw_share=bw_share,
+            prefetch_throttle=prefetch_throttle,
+        )
+        name = vm.name
+        self.register_entity(
+            EntityId(self.name, f"llc:{name}"),
+            MemoryKnobTarget(system, name, "llc-ways"),
+            knob=Knob(
+                kind="llc-ways",
+                unit="ways",
+                read=lambda name=name: system.ways(name),
+                apply=lambda value, name=name: system.set_ways(name, int(value)),
+                minimum=1,
+                maximum=system.params.total_ways,
+            ),
+        )
+        self.register_entity(
+            EntityId(self.name, f"bw:{name}"),
+            MemoryKnobTarget(system, name, "bw-share"),
+            knob=Knob(
+                kind="bw-share",
+                unit="share",
+                read=lambda name=name: system.bw_share(name),
+                apply=lambda value, name=name: system.set_bw_share(name, int(value)),
+                minimum=1,
+                maximum=MAX_BW_SHARE,
+            ),
+        )
+        self.register_entity(
+            EntityId(self.name, f"prefetch:{name}"),
+            MemoryKnobTarget(system, name, "prefetch-throttle"),
+            knob=Knob(
+                kind="prefetch-throttle",
+                unit="percent",
+                read=lambda name=name: system.prefetch_throttle(name),
+                apply=lambda value, name=name: system.set_prefetch_throttle(
+                    name, int(value)
+                ),
+                minimum=0,
+                maximum=100,
+            ),
+        )
+        self.tracer.emit(
+            self.name, "memory-managed", vm=name,
+            ways=system.ways(name), bw_share=system.bw_share(name),
+        )
 
     # -- optional balloon driver ----------------------------------------------
 

@@ -1,0 +1,247 @@
+"""Tests for the coordinated energy/QoS governor.
+
+Exercises the greedy (dvfs × ways × bw × prefetch) search in isolation:
+QoS recovery picks partition moves before frequency, economizing needs a
+full confirmation history, the anti-flap floor holds, both ablation modes
+respect their tied arm, zero-delta Tunes are never emitted, and the
+same-instant DVFS race guard defers.
+"""
+
+import pytest
+
+from repro.coordination import ENERGY_QOS_MODES, EnergyQosGovernor, QosTarget
+from repro.platform import EntityId
+from repro.sim import Simulator, ms
+from repro.x86 import (
+    DVFS_LADDER,
+    MemoryProfile,
+    MemorySystem,
+    MemorySystemParams,
+    X86Island,
+)
+
+PERIOD = ms(500)
+
+
+class StubQos:
+    """A settable p95 source (stands in for WindowedQosSource)."""
+
+    def __init__(self, **p95):
+        self.p95 = dict(p95)
+
+    def p95_ms(self, vm):
+        return self.p95.get(vm)
+
+
+class _Instant:
+    x86_w = 0.0
+    total_w = 0.0
+
+
+class StubMeter:
+    def instantaneous(self):
+        return _Instant()
+
+
+def make_setup(mode="coordinated", targets=None, qos=None, **kw):
+    """An island with two memory-managed VMs and a governor over them.
+
+    ``web`` is cache-hungry and targeted tightly; ``batch`` is a natural
+    way donor. All 16 ways are allocated, so way moves must steal.
+    """
+    sim = Simulator()
+    island = X86Island(sim)
+    system = MemorySystem(MemorySystemParams(capacity_gbps=4.0))
+    island.attach_memory_system(system)
+    web = island.create_vm("web")
+    batch = island.create_vm("batch")
+    island.memory_manage(
+        web, MemoryProfile(mem_fraction=0.6, ways_needed=12, base_miss=0.05), ways=8
+    )
+    island.memory_manage(
+        batch, MemoryProfile(mem_fraction=0.1, ways_needed=2, base_miss=0.1), ways=8
+    )
+    qos = qos or StubQos(web=5.0, batch=5.0)
+    targets = targets or [QosTarget("web", 20.0), QosTarget("batch", 90.0)]
+    governor = EnergyQosGovernor(
+        sim, island, StubMeter(), qos, targets, mode=mode, period=PERIOD, **kw
+    )
+    return sim, island, system, qos, governor
+
+
+def dvfs_index(island):
+    return int(island.knobs.get(EntityId("x86", "dvfs")).read())
+
+
+class TestValidation:
+    def test_mode_must_be_known(self):
+        sim = Simulator()
+        island = X86Island(sim)
+        with pytest.raises(ValueError):
+            EnergyQosGovernor(
+                sim, island, StubMeter(), StubQos(), [QosTarget("a", 1.0)],
+                mode="greedy",
+            )
+        assert set(ENERGY_QOS_MODES) == {"coordinated", "dvfs-only", "partition-only"}
+
+    def test_targets_required(self):
+        sim = Simulator()
+        island = X86Island(sim)
+        with pytest.raises(ValueError):
+            EnergyQosGovernor(sim, island, StubMeter(), StubQos(), [])
+
+    def test_qos_target_validates(self):
+        with pytest.raises(ValueError):
+            QosTarget("web", 0.0)
+
+
+class TestRecovery:
+    def test_violation_recovers_via_way_transfer_from_donor(self):
+        sim, island, system, qos, governor = make_setup()
+        qos.p95 = {"web": 30.0, "batch": 5.0}  # web violating, batch slack
+        sim.run(until=PERIOD + 1)
+        assert system.ways("web") == 9
+        assert system.ways("batch") == 7
+        assert governor.way_moves == 1
+        assert governor.violation_epochs == 1
+        # The ladder was not touched: a partition move was predicted to
+        # help, so no frequency was spent.
+        assert dvfs_index(island) == len(DVFS_LADDER) - 1
+
+    def test_dvfs_only_cannot_repartition_and_spends_frequency(self):
+        sim, island, system, qos, governor = make_setup(mode="dvfs-only")
+        island.apply_tune(EntityId("x86", "dvfs"), -1)
+        qos.p95 = {"web": 30.0, "batch": 5.0}
+        sim.run(until=PERIOD + 1)
+        assert system.ways("web") == 8  # untouched: its only lever is DVFS
+        assert governor.way_moves == 0
+        assert governor.dvfs_steps_up == 1
+        assert dvfs_index(island) == len(DVFS_LADDER) - 1
+
+    def test_step_up_stops_at_nominal(self):
+        sim, island, system, qos, governor = make_setup(mode="dvfs-only")
+        qos.p95 = {"web": 30.0, "batch": 5.0}
+        sim.run(until=4 * PERIOD + 1)
+        # Already at nominal: a violation it cannot fix emits nothing.
+        assert governor.dvfs_steps_up == 0
+        assert dvfs_index(island) == len(DVFS_LADDER) - 1
+
+
+class TestEconomizing:
+    def test_downstep_needs_full_confirmation_history(self):
+        sim, island, system, qos, governor = make_setup(
+            dvfs_confirm_epochs=3, dvfs_cooldown_epochs=0
+        )
+        sim.run(until=2 * PERIOD + 1)  # only 2 epochs of history
+        assert governor.dvfs_steps_down == 0
+        assert dvfs_index(island) == len(DVFS_LADDER) - 1
+        sim.run(until=3 * PERIOD + 1)  # third epoch completes the history
+        assert governor.dvfs_steps_down == 1
+        assert dvfs_index(island) == len(DVFS_LADDER) - 2
+
+    def test_descends_ladder_epoch_by_epoch_to_the_floor(self):
+        sim, island, system, qos, governor = make_setup(
+            dvfs_confirm_epochs=2, dvfs_cooldown_epochs=0
+        )
+        sim.run(until=20 * PERIOD + 1)
+        # History resets after each step, so steps come every 2 epochs
+        # until the ladder floor; there they stop (floor index 0).
+        assert governor.dvfs_steps_down == len(DVFS_LADDER) - 1
+        assert dvfs_index(island) == 0
+        assert island.scheduler.cpus[0].speed == DVFS_LADDER[0]
+
+    def test_unsafe_downstep_is_vetoed_by_scaled_p95(self):
+        # web's p95 of 18 ms scaled by the 1.0 -> 0.85 step ratio exceeds
+        # 20 * (1 - guard): the predicted post-step p95 has no margin.
+        sim, island, system, qos, governor = make_setup(
+            qos=StubQos(web=18.0, batch=5.0),
+            dvfs_confirm_epochs=2, dvfs_cooldown_epochs=0,
+        )
+        sim.run(until=10 * PERIOD + 1)
+        assert governor.dvfs_steps_down == 0
+        assert dvfs_index(island) == len(DVFS_LADDER) - 1
+
+    def test_cooldown_spaces_consecutive_steps(self):
+        sim, island, system, qos, governor = make_setup(
+            dvfs_confirm_epochs=1, dvfs_cooldown_epochs=4
+        )
+        sim.run(until=4 * PERIOD + 1)
+        # Confirmation would allow a step every epoch; the cooldown holds
+        # the second step until 4 periods after the first.
+        assert governor.dvfs_steps_down == 1
+
+    def test_partition_only_never_touches_the_ladder(self):
+        sim, island, system, qos, governor = make_setup(mode="partition-only")
+        sim.run(until=20 * PERIOD + 1)
+        assert governor.dvfs_steps_down == governor.dvfs_steps_up == 0
+        assert dvfs_index(island) == len(DVFS_LADDER) - 1
+        assert island.scheduler.cpus[0].speed == DVFS_LADDER[-1]
+
+
+class TestAntiFlap:
+    def test_violation_step_up_burns_the_level_it_left(self):
+        sim, island, system, qos, governor = make_setup(
+            mode="dvfs-only", dvfs_confirm_epochs=1, dvfs_cooldown_epochs=0
+        )
+        island.apply_tune(EntityId("x86", "dvfs"), -2)
+        qos.p95 = {"web": 30.0, "batch": 5.0}
+        sim.run(until=PERIOD + 1)
+        assert governor.dvfs_steps_up == 1
+        burned = dvfs_index(island)
+        # QoS recovers with huge slack: economizing would immediately
+        # retry the level that just violated — the floor forbids it.
+        qos.p95 = {"web": 2.0, "batch": 2.0}
+        sim.run(until=12 * PERIOD + 1)
+        assert governor.dvfs_steps_down == 0
+        assert dvfs_index(island) == burned
+
+
+class TestAuditHygiene:
+    def test_no_zero_delta_tunes_and_quiet_epochs_leave_no_footprint(self):
+        sim, island, system, qos, governor = make_setup(
+            dvfs_confirm_epochs=2, dvfs_cooldown_epochs=0
+        )
+        sim.run(until=10 * PERIOD + 1)  # descends to the ladder floor
+        settled = len(island.knobs.audit)
+        sim.run(until=30 * PERIOD + 1)  # nothing left to improve
+        assert len(island.knobs.audit) == settled
+        assert all(record.requested_delta for record in island.knobs.audit
+                   if record.op == "tune")
+
+
+class TestRaceGuard:
+    def test_same_instant_ladder_move_defers_the_governor(self):
+        sim = Simulator()
+        island = X86Island(sim)
+        entity = EntityId("x86", "dvfs")
+        island.apply_tune(entity, -2)
+
+        def racer():
+            yield sim.timeout(PERIOD)
+            island.apply_tune(entity, +1)
+
+        sim.spawn(racer(), name="racer")  # spawned first: acts first
+        governor = EnergyQosGovernor(
+            sim, island, StubMeter(), StubQos(web=30.0),
+            [QosTarget("web", 20.0)], mode="dvfs-only", period=PERIOD,
+        )
+        sim.run(until=PERIOD + 1)
+        assert governor.dvfs_deferred == 1
+        assert governor.dvfs_steps_up == 0
+        # Only the racer's step landed: no double-step this instant.
+        assert dvfs_index(island) == len(DVFS_LADDER) - 2
+
+
+class TestStats:
+    def test_stats_scoreboard_shape(self):
+        sim, island, system, qos, governor = make_setup()
+        qos.p95 = {"web": 30.0, "batch": 5.0}
+        sim.run(until=PERIOD + 1)
+        stats = governor.stats()
+        assert stats["epochs"] == 1
+        assert stats["violation_epochs"] == 1
+        assert stats["way_moves"] == 1
+        assert set(stats) == {
+            "epochs", "violation_epochs", "dvfs_steps_down", "dvfs_steps_up",
+            "way_moves", "bw_moves", "prefetch_moves", "dvfs_deferred",
+        }

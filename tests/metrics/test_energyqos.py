@@ -1,0 +1,121 @@
+"""Tests for the windowed QoS source and the energy/QoS collector."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.metrics import (
+    ENERGY_QOS_KNOB_KINDS,
+    EnergyQosCollector,
+    WindowedQosSource,
+)
+from repro.sim import Simulator, ms, seconds
+
+
+class TestWindowedQosSource:
+    def test_empty_window_reads_none(self):
+        source = WindowedQosSource(Simulator())
+        assert source.p95_ms("vm") is None
+        assert source.count("vm") == 0
+
+    def test_rejects_negative_latency_and_bad_window(self):
+        source = WindowedQosSource(Simulator())
+        with pytest.raises(ValueError):
+            source.record("vm", -1)
+        with pytest.raises(ValueError):
+            WindowedQosSource(Simulator(), window=0)
+
+    def test_p95_of_current_window(self):
+        sim = Simulator()
+        source = WindowedQosSource(sim, window=seconds(4))
+        for latency in range(1, 101):
+            source.record("vm", ms(latency))
+        assert source.count("vm") == 100
+        assert source.p95_ms("vm") == pytest.approx(95.0, rel=0.02)
+
+    def test_window_slides_and_prunes_expired_samples(self):
+        sim = Simulator()
+        source = WindowedQosSource(sim, window=seconds(2))
+
+        def driver():
+            source.record("vm", ms(10))
+            yield sim.timeout(seconds(1))
+            source.record("vm", ms(30))
+            yield sim.timeout(seconds(1) + ms(1))  # first sample now stale
+
+        sim.spawn(driver(), name="driver")
+        sim.run(until=seconds(3))
+        assert source.count("vm") == 1
+        assert source.p95_ms("vm") == pytest.approx(30.0)
+
+    def test_keys_are_independent(self):
+        sim = Simulator()
+        source = WindowedQosSource(sim)
+        source.record("a", ms(5))
+        assert source.p95_ms("b") is None
+        assert source.p95_ms("a") == pytest.approx(5.0)
+
+
+class TestEnergyQosCollector:
+    def _run(self, target_ms=20.0, measure_from=seconds(2), until=seconds(5)):
+        sim = Simulator()
+        source = WindowedQosSource(sim, window=seconds(4))
+        collector = EnergyQosCollector(
+            sim, {"vm": target_ms}, source,
+            period=seconds(1), measure_from=measure_from,
+        )
+
+        def driver():
+            while True:
+                source.record("vm", ms(30))
+                yield sim.timeout(ms(500))
+
+        sim.spawn(driver(), name="driver")
+        sim.run(until=until + 1)
+        return collector
+
+    def test_warmup_checks_are_not_counted(self):
+        collector = self._run(target_ms=20.0)
+        # Checks at t=2..5 only (the t=1 sample falls in the warm-up).
+        assert len(collector.checks) == 4
+        assert collector.violations == 4
+        assert collector.violations_by_vm == {"vm": 4}
+        assert all(check.violated for check in collector.checks)
+
+    def test_met_target_counts_zero_violations(self):
+        collector = self._run(target_ms=50.0)
+        assert len(collector.checks) == 4
+        assert collector.violations == 0
+
+    def test_collector_validates_period(self):
+        with pytest.raises(ValueError):
+            EnergyQosCollector(Simulator(), {}, WindowedQosSource(Simulator()), period=0)
+
+    def test_actuation_counts_filter_zero_delta_and_foreign_kinds(self):
+        sim = Simulator()
+        collector = EnergyQosCollector(
+            sim, {"vm": 10.0}, WindowedQosSource(sim)
+        )
+        audit = [
+            SimpleNamespace(op="tune", requested_delta=1, kind="dvfs-level"),
+            SimpleNamespace(op="tune", requested_delta=-1, kind="llc-ways"),
+            SimpleNamespace(op="tune", requested_delta=0, kind="llc-ways"),
+            SimpleNamespace(op="trigger", requested_delta=None, kind="bw-share"),
+            SimpleNamespace(op="tune", requested_delta=2, kind="credit-weight"),
+        ]
+        counts = collector.actuation_counts(SimpleNamespace(audit=audit))
+        assert set(counts) == set(ENERGY_QOS_KNOB_KINDS)
+        assert counts["dvfs-level"] == 1
+        assert counts["llc-ways"] == 1  # the zero-delta no-op is excluded
+        assert counts["bw-share"] == 0  # triggers are not tunes
+
+    def test_summary_shapes(self):
+        collector = self._run()
+        summary = collector.summary()
+        assert summary["checks"] == 4
+        assert "energy_j" not in summary
+        meter = SimpleNamespace(energy_j=lambda: 12.5)
+        knobs = SimpleNamespace(audit=[])
+        summary = collector.summary(meter=meter, knobs=knobs)
+        assert summary["energy_j"] == 12.5
+        assert summary["actuations"]["dvfs-level"] == 0

@@ -159,6 +159,53 @@ class TestKnobRegistry:
         assert box.value == 10             # exactly the pre-trigger weight
         assert registry.active_leases(entity) == 0
 
+    def test_tune_during_lease_survives_expiry(self):
+        """ISSUE-6 satellite: a Tune landing mid-lease used to be silently
+        undone at expiry (the restore wrote the stale pre-lease capture).
+        The registry now rebases the lease's original by the same delta."""
+        sim = Simulator()
+        registry, entity, box = make_registry(
+            sim, maximum=None,
+            trigger=TriggerSpec(boost=lambda w: w * 2, hold=ms(1)),
+        )
+        registry.trigger(entity)           # t=0: 10 -> 20, original=10
+        registry.tune(entity, +5)          # mid-lease: 20 -> 25, rebase to 15
+        assert box.value == 25
+        sim.run(until=ms(2))
+        assert box.value == 15             # the Tune survived the restore
+        assert registry.active_leases(entity) == 0
+
+    def test_tune_during_stacked_leases_rebases_every_rederivation(self):
+        sim = Simulator()
+        registry, entity, box = make_registry(
+            sim, maximum=None,
+            trigger=TriggerSpec(boost=lambda w: w * 2, hold=ms(1)),
+        )
+        registry.trigger(entity)           # t=0: 10 -> 20, expires t=1ms
+        sim.run(until=us(500))
+        registry.trigger(entity)           # t=0.5ms: 20 -> 40, expires t=1.5ms
+        registry.tune(entity, +5)          # 40 -> 45, original 10 -> 15
+        assert box.value == 45
+        sim.run(until=ms(1.2))
+        # One level left: re-derived from the REBASED original (2*15),
+        # not the stale pre-lease capture (2*10).
+        assert box.value == 30
+        sim.run(until=ms(2))
+        assert box.value == 15
+        assert registry.active_leases(entity) == 0
+
+    def test_mid_lease_tune_rebase_clamps_independently(self):
+        sim = Simulator()
+        registry, entity, box = make_registry(
+            sim, minimum=1, maximum=30,
+            trigger=TriggerSpec(boost=lambda w: w + 15, hold=ms(1)),
+        )
+        registry.trigger(entity)           # 10 -> 25, original=10
+        registry.tune(entity, +20)         # boosted value clamps at 30...
+        assert box.value == 30
+        sim.run(until=ms(2))
+        assert box.value == 30             # ...and the original at 10+20=30
+
     def test_snapshot_describes_capabilities(self):
         sim = Simulator()
         registry, entity, box = make_registry(

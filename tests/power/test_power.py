@@ -14,6 +14,7 @@ from repro.power import (
     next_level_down,
     next_level_up,
 )
+from repro.platform import EntityId
 from repro.sim import Simulator, ms, seconds
 from repro.x86 import CreditScheduler, VirtualMachine
 
@@ -202,3 +203,92 @@ class TestGovernors:
         testbed.ixp_agent.endpoint.send(PowerReportMessage(watts=17.5))
         testbed.run(ms(50))
         assert received == [17.5]
+
+
+class TestPerSpeedEnergyIntegration:
+    """ISSUE-6 satellite: energy must integrate across mid-window DVFS
+    steps — each busy slice billed at the speed it actually ran at, not
+    the whole window priced at the end-of-window level."""
+
+    def test_power_integrated_matches_single_speed_power(self):
+        model = CorePowerModel()
+        assert model.power_integrated({0.7: 0.4}) == pytest.approx(model.power(0.4, 0.7))
+        assert model.power_integrated({}) == pytest.approx(model.power(0.0, 1.0))
+
+    def test_power_integrated_sums_per_speed_slices(self):
+        model = CorePowerModel(static_w=2.0, dynamic_w=10.0)
+        watts = model.power_integrated({1.0: 0.5, 0.5: 0.5})
+        assert watts == pytest.approx(2.0 + 10.0 * (0.5 + 0.5 * 0.125))
+
+    def test_power_integrated_validates_speed(self):
+        with pytest.raises(ValueError):
+            CorePowerModel().power_integrated({1.5: 0.1})
+
+    def test_busy_buckets_split_by_execution_speed(self):
+        sim = Simulator()
+        scheduler = CreditScheduler(sim, num_cpus=1)
+        vm = VirtualMachine(sim, "vm")
+        scheduler.add_domain(vm)
+        done = vm.execute(ms(20))
+        sim.run(until=ms(10))            # half the demand done at nominal
+        scheduler.set_cpu_speed(0, 0.5)  # rest runs at half speed
+        sim.run(until=seconds(1))
+        assert done.processed
+        buckets = scheduler.cpus[0].busy_by_speed
+        assert buckets[1.0] == pytest.approx(ms(10), rel=0.05)
+        assert buckets[0.5] == pytest.approx(ms(20), rel=0.05)
+        assert sum(buckets.values()) == pytest.approx(vm.accounting.busy, rel=0.01)
+
+    def test_meter_bills_mid_window_dvfs_step_exactly(self):
+        testbed = Testbed(TestbedConfig())
+        vm, _nic = testbed.create_guest_vm("hog")
+
+        def hog(sim):
+            while True:
+                yield vm.execute(ms(5))
+
+        def stepper(sim):
+            # Step the whole ladder down exactly mid-way through window 3.
+            yield sim.timeout(seconds(2) + seconds(1) // 2)
+            testbed.x86.apply_tune(EntityId("x86", "dvfs"), -3)
+
+        testbed.sim.spawn(hog(testbed.sim))
+        testbed.sim.spawn(stepper(testbed.sim))
+        meter = PowerMeter(testbed.sim, testbed.x86, testbed.ixp, window=seconds(1))
+        testbed.run(seconds(4))
+        core = CorePowerModel()
+        mixed_window = meter.samples[2].x86_w
+        # Half the window busy at 1.0, half at 0.55, second core idle.
+        exact = core.power_integrated({1.0: 0.5, 0.55: 0.5}) + core.power(0.0, 0.55)
+        # The pre-fix behaviour priced the whole window at the final speed.
+        stale = core.power(1.0, 0.55) + core.power(0.0, 0.55)
+        assert mixed_window == pytest.approx(exact, rel=0.1)
+        assert abs(mixed_window - exact) < abs(mixed_window - stale)
+
+
+class TestGovernorRaceGuard:
+    """ISSUE-6 satellite: two governors sharing one meter sample must not
+    double-step the ladder at the same instant."""
+
+    def test_racing_cap_governors_defer_instead_of_double_stepping(self):
+        testbed = Testbed(TestbedConfig(driver_poll_burn_duty=0.5))
+        vm, _nic = testbed.create_guest_vm("hog")
+
+        def hog(sim):
+            while True:
+                yield vm.execute(ms(5))
+
+        testbed.sim.spawn(hog(testbed.sim))
+        meter = PowerMeter(testbed.sim, testbed.x86, testbed.ixp, window=seconds(1))
+        first = LocalPowerCapGovernor(testbed.sim, meter, testbed.x86, platform_cap_w=42.0)
+        second = LocalPowerCapGovernor(testbed.sim, meter, testbed.x86, platform_cap_w=42.0)
+        testbed.run(seconds(15))
+        # The loser of each same-instant race yields its step...
+        assert second.actuator.steps_deferred > 0
+        # ...so the ladder moves at most once per simulation instant.
+        tune_times = [
+            record.time for record in testbed.x86.knobs.audit
+            if record.entity == "x86/dvfs" and record.op == "tune"
+        ]
+        assert len(tune_times) == len(set(tune_times))
+        assert testbed.x86.scheduler.cpus[0].speed < 1.0

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""CI smoke check for the energy/QoS co-optimization experiment.
+
+Runs the coordinated governor and its two single-resource ablations on
+the consolidated three-guest scenario and asserts the acceptance shape:
+
+* the coordinated arm meets every per-VM p95 target (zero violations),
+* at strictly lower platform energy than the dvfs-only ablation,
+* and no higher energy than the partition-only ablation,
+* while dvfs-only demonstrates the coordination gap (it violates —
+  frequency cannot fix cache starvation),
+* with the uncore knobs actually exercised and the audit free of
+  zero-delta Tunes.
+
+Exits non-zero on any mismatch.
+
+Run as: PYTHONPATH=src python tools/energyqos_smoke.py
+"""
+
+import sys
+
+from repro.experiments import run_energy_qos
+
+
+def main() -> int:
+    result = run_energy_qos(seed=1)
+    coordinated = result.arm("coordinated")
+    dvfs_only = result.arm("dvfs-only")
+    partition_only = result.arm("partition-only")
+
+    assert coordinated.violations == 0, (
+        f"coordinated arm violated QoS {coordinated.violations}/{coordinated.checks} times"
+    )
+    assert coordinated.energy_j < dvfs_only.energy_j, (
+        f"coordinated energy {coordinated.energy_j:.0f} J not below "
+        f"dvfs-only {dvfs_only.energy_j:.0f} J"
+    )
+    assert coordinated.energy_j <= partition_only.energy_j, (
+        f"coordinated energy {coordinated.energy_j:.0f} J above "
+        f"partition-only {partition_only.energy_j:.0f} J"
+    )
+    assert dvfs_only.violations > 0, (
+        "dvfs-only met all targets — the scenario no longer shows the "
+        "coordination gap"
+    )
+    uncore = (
+        coordinated.actuations["llc-ways"]
+        + coordinated.actuations["bw-share"]
+        + coordinated.actuations["prefetch-throttle"]
+    )
+    assert uncore > 0, "coordinated arm never touched an uncore knob"
+    assert coordinated.final_speed < 1.0, (
+        "coordinated arm never converted slack into a DVFS down-step"
+    )
+
+    print(
+        "energyqos smoke OK: "
+        f"coordinated {coordinated.energy_j:.0f} J / "
+        f"{coordinated.violations}/{coordinated.checks} violations / "
+        f"DVFS {coordinated.final_speed:.2f}, "
+        f"dvfs-only {dvfs_only.energy_j:.0f} J / {dvfs_only.violations} violations, "
+        f"partition-only {partition_only.energy_j:.0f} J, "
+        f"{uncore} uncore tunes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
