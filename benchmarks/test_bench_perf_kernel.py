@@ -1,17 +1,28 @@
-"""Kernel throughput microbenchmark: events/sec on a fixed seeded workload.
+"""Kernel throughput microbenchmarks: events/sec on fixed seeded workloads.
 
-Runs one deterministic workload twice over the same kernel — once with
-processes sleeping via the integer fast path (``yield n``) and once via
-the allocating classic path (``yield sim.timeout(n)``, which is what every
-yield cost before the fast path existed) — and records events/sec, wall
-time and the speedup ratio to ``BENCH_kernel.json`` at the repo root. The
-workload mixes the shapes the real models use: pure delay loops (the vast
-majority of kernel traffic), a resource-arbitration clique (microengine
-pipelines), and a store producer/consumer pair (flow queues, rings).
+Two scenarios, both written to ``BENCH_kernel.json`` at the repo root:
 
-Both variants must agree exactly on final virtual time and event count —
-the fast path is a pure allocation optimisation, asserted here and in
-``tests/sim/test_fastpath.py``.
+* **mixed** — the original workload (pure delay loops, a resource-
+  arbitration clique, a store producer/consumer pair) run twice over the
+  same kernel: once sleeping via the integer fast path (``yield n``) and
+  once via the allocating classic path (``yield sim.timeout(n)``).
+* **periodic** — a periodic-tick-dominated workload (hundreds of fixed-
+  period control loops: scheduler ticks, samplers, heartbeats) run three
+  ways: the old generator idiom (``while True: yield period``), a
+  :class:`PeriodicTask` fleet through the timer wheel, and the same fleet
+  through the classic heap (``fastpath=False``). The wheel fleet is the
+  production configuration; the generator run is what every periodic site
+  cost before ``PeriodicTask`` existed.
+
+Every variant pair must agree exactly on final virtual time and event
+count — both optimisations are pure mechanics, asserted here and in
+``tests/sim/test_fastpath.py`` / ``tests/sim/test_timerwheel.py``.
+
+**Ratchet:** ``benchmarks/baseline_kernel.json`` commits the speedup
+*ratios* (machine-independent, unlike raw events/sec) and each bench
+fails if a measured ratio drops below ``RATCHET_FRACTION`` of its
+baseline — CI runs these jobs gating, so a kernel change that erodes
+either fast path by >20% cannot merge unnoticed.
 """
 
 from __future__ import annotations
@@ -21,16 +32,43 @@ import random
 import time
 from pathlib import Path
 
-from repro.sim import Resource, Simulator, Store
+from repro.sim import Resource, Simulator, Store, ms, seconds, us
 
 #: Output artefact (uploaded by the CI perf-smoke job).
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+#: Committed speedup-ratio floors (the perf ratchet).
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_kernel.json"
+#: A measured ratio below this fraction of its committed baseline fails.
+RATCHET_FRACTION = 0.8
 
 NUM_SLEEPERS = 50
 SLEEPS_PER_PROC = 4_000
 NUM_WORKERS = 8
 WORK_ITEMS = 2_000
 SEED = 1
+
+NUM_PERIODIC = 512
+PERIODIC_DURATION = seconds(5)
+
+
+def _check_ratchet(name: str, measured: float) -> None:
+    """Fail when ``measured`` regresses >20% below the committed ratio."""
+    baselines = json.loads(BASELINE_PATH.read_text())
+    floor = baselines[name] * RATCHET_FRACTION
+    assert measured >= floor, (
+        f"perf ratchet: {name} = {measured:.2f}x fell below "
+        f"{floor:.2f}x ({RATCHET_FRACTION:.0%} of committed {baselines[name]:.2f}x)"
+    )
+
+
+def _merge_result(section: str, payload: dict) -> None:
+    """Update one scenario's section of ``BENCH_kernel.json`` in place."""
+    try:
+        result = json.loads(RESULT_PATH.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        result = {}
+    result[section] = payload
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
 
 
 def _build_workload(sim: Simulator, fastpath: bool, counters: dict) -> None:
@@ -141,12 +179,97 @@ def test_bench_perf_kernel():
         },
         "speedup": round(speedup, 3),
     }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
-    print(f"\nkernel bench: {result['fastpath']['events_per_sec']} ev/s fast "
+    _merge_result("mixed", result)
+    print(f"\nkernel bench [mixed]: {result['fastpath']['events_per_sec']} ev/s fast "
           f"vs {result['classic']['events_per_sec']} ev/s classic "
           f"({speedup:.2f}x) -> {RESULT_PATH.name}")
 
-    # Acceptance bar: >= 1.5x events/sec over the pre-fast-path kernel.
-    # Keep a margin below that in the assert so a noisy shared CI runner
-    # does not flake; the JSON records the true measured ratio.
-    assert speedup >= 1.2, f"fast path speedup {speedup:.2f}x below floor"
+    _check_ratchet("mixed_fastpath_speedup", speedup)
+
+
+# -- periodic-tick scenario --------------------------------------------------
+
+
+def _build_periodic(sim: Simulator, idiom: str, counters: dict) -> None:
+    """A control-plane-shaped fleet: fixed-period loops and nothing else.
+
+    Periods span sub-slot (~0.1 ms) to multi-slot (~20 ms) — the range the
+    real models use (credit ticks at 10 ms, accounting at 30 ms, samplers
+    at 1 s, heartbeats at tens of ms) — so re-arming exercises both the
+    ready heap and O(1) wheel appends.
+    """
+    rng = random.Random(SEED)
+    periods = [rng.randrange(us(100), ms(20)) for _ in range(NUM_PERIODIC)]
+
+    if idiom == "task":
+        def tick():
+            counters["events"] += 1
+
+        for period in periods:
+            sim.periodic(period, tick)
+    else:
+        def loop(period):
+            while True:
+                yield period
+                counters["events"] += 1
+
+        for index, period in enumerate(periods):
+            sim.spawn(loop(period), name=f"ticker-{index}")
+
+
+def _measure_periodic(idiom: str, fastpath: bool = True) -> dict:
+    sim = Simulator(fastpath=fastpath)
+    counters = {"events": 0}
+    _build_periodic(sim, idiom, counters)
+    started = time.perf_counter()
+    sim.run(until=PERIODIC_DURATION)
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "events": counters["events"],
+        "final_time": sim.now,
+        "events_per_sec": counters["events"] / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def test_bench_perf_kernel_periodic():
+    _measure_periodic("task")  # warm caches/allocator
+    generator = _measure_periodic("generator")
+    heap = _measure_periodic("task", fastpath=False)
+    wheel = _measure_periodic("task")
+
+    # All three are the same simulation: identical tick counts, same end.
+    assert wheel["events"] == generator["events"] == heap["events"]
+    assert wheel["final_time"] == generator["final_time"] == heap["final_time"]
+
+    vs_generator = wheel["events_per_sec"] / generator["events_per_sec"]
+    vs_heap = wheel["events_per_sec"] / heap["events_per_sec"]
+    result = {
+        "workload": {
+            "periodic_tasks": NUM_PERIODIC,
+            "virtual_duration_ns": PERIODIC_DURATION,
+            "seed": SEED,
+        },
+        "events": wheel["events"],
+        "generator_idiom": {
+            "seconds": round(generator["seconds"], 4),
+            "events_per_sec": round(generator["events_per_sec"]),
+        },
+        "periodic_heap": {
+            "seconds": round(heap["seconds"], 4),
+            "events_per_sec": round(heap["events_per_sec"]),
+        },
+        "periodic_wheel": {
+            "seconds": round(wheel["seconds"], 4),
+            "events_per_sec": round(wheel["events_per_sec"]),
+        },
+        "speedup_vs_generator": round(vs_generator, 3),
+        "speedup_vs_heap": round(vs_heap, 3),
+    }
+    _merge_result("periodic", result)
+    print(f"\nkernel bench [periodic]: {result['periodic_wheel']['events_per_sec']} ev/s wheel "
+          f"vs {result['generator_idiom']['events_per_sec']} ev/s generator "
+          f"({vs_generator:.2f}x) -> {RESULT_PATH.name}")
+
+    _check_ratchet("periodic_wheel_vs_generator", vs_generator)
+    _check_ratchet("periodic_wheel_vs_heap", vs_heap)

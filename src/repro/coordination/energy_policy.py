@@ -155,6 +155,9 @@ class EnergyQosGovernor:
         #: DVFS steps withheld because another actor moved the ladder at
         #: the same instant (a cap governor sharing the meter's clock).
         self.dvfs_deferred = 0
+        # Stays a generator loop (not a PeriodicTask): same-instant race
+        # arbitration with other actors depends on the first epoch arming
+        # at t=0 process startup, in spawn order — see TestRaceGuard.
         sim.spawn(self._loop(), name=f"energy-governor-{mode}")
 
     # -- plumbing -----------------------------------------------------------

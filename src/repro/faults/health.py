@@ -41,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..sim import Simulator, Tracer
+from ..sim import PeriodicTask, Simulator, Tracer
 
 #: PeerHealth states.
 PEER_UP = "up"
@@ -136,8 +136,13 @@ class FailureDetector:
                 self._note_dead_letter(message)
 
             endpoint.on_dead_letter = chained
-        sim.spawn(self._heartbeat_loop(), name=f"heartbeat-{self.name}")
-        sim.spawn(self._check_loop(), name=f"failure-detector-{self.name}")
+        period = config.heartbeat_period
+        self._heartbeat_task = PeriodicTask(
+            sim, period, self._heartbeat_tick, name=f"heartbeat-{self.name}"
+        )
+        self._check_task = PeriodicTask(
+            sim, period, self._check_tick, name=f"failure-detector-{self.name}"
+        )
 
     # -- subscriptions ------------------------------------------------------
 
@@ -156,51 +161,46 @@ class FailureDetector:
 
     # -- periodic tasks -----------------------------------------------------
 
-    def _heartbeat_loop(self):
-        period = self.config.heartbeat_period
-        while True:
-            yield period
-            agent = self.agent
-            if agent.crashed or agent.stalled:
-                continue  # a dead or stalled manager cannot heartbeat
-            self._seq += 1
-            self.heartbeats_sent += 1
-            if self.tracer.wants("heartbeat-sent"):
-                self.tracer.emit(
-                    "health", "heartbeat-sent", island=self.name,
-                    seq=self._seq, epoch=agent.epoch,
-                )
-            self._wire.send(HeartbeatMessage(
-                sender=self.name, epoch=agent.epoch, seq=self._seq,
-                sent_at=self.sim.now,
-            ))
+    def _heartbeat_tick(self) -> None:
+        agent = self.agent
+        if agent.crashed or agent.stalled:
+            return  # a dead or stalled manager cannot heartbeat
+        self._seq += 1
+        self.heartbeats_sent += 1
+        if self.tracer.wants("heartbeat-sent"):
+            self.tracer.emit(
+                "health", "heartbeat-sent", island=self.name,
+                seq=self._seq, epoch=agent.epoch,
+            )
+        self._wire.send(HeartbeatMessage(
+            sender=self.name, epoch=agent.epoch, seq=self._seq,
+            sent_at=self.sim.now,
+        ))
 
-    def _check_loop(self):
+    def _check_tick(self) -> None:
         period = self.config.heartbeat_period
-        while True:
-            yield period
-            agent = self.agent
-            if agent.crashed:
-                # While dead we judge nothing; refresh the horizon so a
-                # restart gets a full grace window before suspecting.
-                self._last_heartbeat_at = self.sim.now
-                continue
-            acked = getattr(agent.endpoint, "frames_acked", 0)
-            if acked > self._last_frames_acked:
-                # Ack progress proves the forward path works: clear the
-                # dead-letter pressure (and recover, if heartbeats agree).
-                self._last_frames_acked = acked
-                self._consecutive_dead_letters = 0
-                if self.state != PEER_UP and self._heartbeat_fresh():
-                    self._transition(PEER_UP, "ack-progress")
-            silent = self.sim.now - self._last_heartbeat_at
-            misses = silent // period
-            if misses >= self.config.down_misses:
-                self._resume_streak = 0
-                self._transition(PEER_DOWN, f"missed {misses} heartbeats")
-            elif misses >= self.config.suspect_misses:
-                self._resume_streak = 0
-                self._transition(PEER_SUSPECT, f"missed {misses} heartbeats")
+        agent = self.agent
+        if agent.crashed:
+            # While dead we judge nothing; refresh the horizon so a
+            # restart gets a full grace window before suspecting.
+            self._last_heartbeat_at = self.sim.now
+            return
+        acked = getattr(agent.endpoint, "frames_acked", 0)
+        if acked > self._last_frames_acked:
+            # Ack progress proves the forward path works: clear the
+            # dead-letter pressure (and recover, if heartbeats agree).
+            self._last_frames_acked = acked
+            self._consecutive_dead_letters = 0
+            if self.state != PEER_UP and self._heartbeat_fresh():
+                self._transition(PEER_UP, "ack-progress")
+        silent = self.sim.now - self._last_heartbeat_at
+        misses = silent // period
+        if misses >= self.config.down_misses:
+            self._resume_streak = 0
+            self._transition(PEER_DOWN, f"missed {misses} heartbeats")
+        elif misses >= self.config.suspect_misses:
+            self._resume_streak = 0
+            self._transition(PEER_SUSPECT, f"missed {misses} heartbeats")
 
     def _heartbeat_fresh(self) -> bool:
         silent = self.sim.now - self._last_heartbeat_at

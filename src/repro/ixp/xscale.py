@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from ..sim import Simulator, Tracer, us
+from ..sim import PeriodicTask, Simulator, Tracer, us
 from ..interconnect import ChannelEndpoint
 
 #: Control-core overhead per message send or monitor pass.
@@ -47,14 +47,12 @@ class XScaleCore:
         self.messages_sent += 1
         self.sim.call_in(DISPATCH_OVERHEAD, lambda: endpoint.send(message))
 
-    def every(self, period: int, task: Callable[[], None], name: str = "monitor") -> None:
-        """Run ``task()`` every ``period`` ns (a monitor loop)."""
+    def every(self, period: int, task: Callable[[], None], name: str = "monitor") -> PeriodicTask:
+        """Run ``task()`` every ``period`` ns (a monitor loop).
+
+        Returns the cancellable :class:`PeriodicTask` driving the loop.
+        """
         if period <= 0:
             raise ValueError("period must be positive")
         self.monitor_tasks += 1
-        self.sim.spawn(self._periodic(period, task), name=f"xscale-{name}")
-
-    def _periodic(self, period: int, task: Callable[[], None]):
-        while True:
-            yield self.sim.timeout(period)
-            task()
+        return PeriodicTask(self.sim, period, task, name=f"xscale-{name}")

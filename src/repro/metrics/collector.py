@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..sim import NS_PER_S, Simulator, seconds
+from ..sim import NS_PER_S, PeriodicTask, Simulator, seconds
 from ..x86.vm import VirtualMachine
 
 
@@ -45,27 +45,25 @@ class CpuUtilizationSampler:
         self.window = window
         self.samples: dict[str, list[UtilizationSample]] = {vm.name: [] for vm in vms}
         self._previous = {vm.name: vm.accounting.snapshot() for vm in vms}
-        sim.spawn(self._loop(), name="cpu-sampler")
+        self._task = PeriodicTask(sim, window, self._sample_window, name="cpu-sampler")
 
-    def _loop(self):
-        while True:
-            yield self.sim.timeout(self.window)
-            for vm in self.vms:
-                now_counters = vm.accounting.snapshot()
-                prev = self._previous[vm.name]
-                delta = {k: now_counters[k] - prev[k] for k in now_counters}
-                self._previous[vm.name] = now_counters
-                scale = 100.0 / self.window
-                self.samples[vm.name].append(
-                    UtilizationSample(
-                        time=self.sim.now,
-                        total=(delta["user"] + delta["sys"]) * scale,
-                        user=delta["user"] * scale,
-                        sys=delta["sys"] * scale,
-                        iowait=delta["iowait"] * scale,
-                        steal=delta["steal"] * scale,
-                    )
+    def _sample_window(self) -> None:
+        for vm in self.vms:
+            now_counters = vm.accounting.snapshot()
+            prev = self._previous[vm.name]
+            delta = {k: now_counters[k] - prev[k] for k in now_counters}
+            self._previous[vm.name] = now_counters
+            scale = 100.0 / self.window
+            self.samples[vm.name].append(
+                UtilizationSample(
+                    time=self.sim.now,
+                    total=(delta["user"] + delta["sys"]) * scale,
+                    user=delta["user"] * scale,
+                    sys=delta["sys"] * scale,
+                    iowait=delta["iowait"] * scale,
+                    steal=delta["steal"] * scale,
                 )
+            )
 
     def mean_total(self, vm_name: str, skip_first: int = 0) -> float:
         """Mean total utilisation of a VM across collected windows."""

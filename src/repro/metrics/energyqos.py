@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..sim import Simulator, seconds, to_ms
+from ..sim import PeriodicTask, Simulator, seconds, to_ms
 from .stats import percentile
 
 #: Knob kinds the energy/QoS experiment attributes actuations to.
@@ -108,22 +108,20 @@ class EnergyQosCollector:
         self.checks: list[QosCheck] = []
         self.violations = 0
         self.violations_by_vm: dict[str, int] = {vm: 0 for vm in targets}
-        sim.spawn(self._loop(), name="energyqos-collector")
+        self._task = PeriodicTask(sim, period, self._check_window, name="energyqos-collector")
 
-    def _loop(self):
-        while True:
-            yield self.sim.timeout(self.period)
-            if self.sim.now < self.measure_from:
+    def _check_window(self) -> None:
+        if self.sim.now < self.measure_from:
+            return
+        for vm, target_ms in self.targets.items():
+            p95 = self.source.p95_ms(vm)
+            if p95 is None:
                 continue
-            for vm, target_ms in self.targets.items():
-                p95 = self.source.p95_ms(vm)
-                if p95 is None:
-                    continue
-                check = QosCheck(time=self.sim.now, vm=vm, p95_ms=p95, target_ms=target_ms)
-                self.checks.append(check)
-                if check.violated:
-                    self.violations += 1
-                    self.violations_by_vm[vm] += 1
+            check = QosCheck(time=self.sim.now, vm=vm, p95_ms=p95, target_ms=target_ms)
+            self.checks.append(check)
+            if check.violated:
+                self.violations += 1
+                self.violations_by_vm[vm] += 1
 
     # -- scoring ------------------------------------------------------------
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from ..coordination import CoordinationAgent
 from ..platform import EntityId
-from ..sim import Simulator, Tracer, seconds
+from ..sim import PeriodicTask, Simulator, Tracer, seconds
 from ..x86 import X86Island
 from .meter import PowerMeter
 
@@ -119,17 +119,15 @@ class LocalPowerCapGovernor:
         self.x86_budget_w = platform_cap_w - remote_rated_w
         self.actuator = _DvfsActuator(x86, hysteresis_w)
         self.tracer = tracer or Tracer(sim, enabled=False)
-        sim.spawn(self._loop(period), name="power-governor-local")
+        self._task = PeriodicTask(sim, period, self._govern, name="power-governor-local")
 
-    def _loop(self, period):
-        while True:
-            yield self.sim.timeout(period)
-            sample = self.meter.instantaneous()
-            self.actuator.actuate(sample.x86_w, self.x86_budget_w)
-            self.tracer.emit(
-                "power", "local-govern", x86_w=sample.x86_w,
-                budget=self.x86_budget_w, speed=self.actuator.current_speed,
-            )
+    def _govern(self) -> None:
+        sample = self.meter.instantaneous()
+        self.actuator.actuate(sample.x86_w, self.x86_budget_w)
+        self.tracer.emit(
+            "power", "local-govern", x86_w=sample.x86_w,
+            budget=self.x86_budget_w, speed=self.actuator.current_speed,
+        )
 
 
 class CoordinatedPowerCapGovernor:

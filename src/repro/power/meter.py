@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..ixp import IXPIsland
-from ..sim import Simulator, seconds, to_seconds
+from ..sim import PeriodicTask, Simulator, seconds, to_seconds
 from ..x86 import X86Island
 from .model import CorePowerModel, IXPPowerModel
 
@@ -55,12 +55,10 @@ class PowerMeter:
             dict(cpu.busy_by_speed) for cpu in x86.scheduler.cpus
         ]
         self._last_busy = [me.busy_time for me in ixp.microengines]
-        sim.spawn(self._loop(), name="power-meter")
+        self._task = PeriodicTask(sim, window, self._tick, name="power-meter")
 
-    def _loop(self):
-        while True:
-            yield self.sim.timeout(self.window)
-            self.samples.append(self._sample())
+    def _tick(self) -> None:
+        self.samples.append(self._sample())
 
     def _sample(self) -> PowerSample:
         x86_w = 0.0

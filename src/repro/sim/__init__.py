@@ -6,7 +6,7 @@ named random streams, and structured tracing. Everything else in
 :mod:`repro` is built on these primitives.
 """
 
-from .core import Condition, Event, Simulator, Timeout, all_of, any_of
+from .core import Condition, Event, PeriodicTask, Simulator, Timeout, all_of, any_of
 from .errors import (
     EventAlreadyTriggeredError,
     Interrupt,
@@ -40,6 +40,7 @@ __all__ = [
     "NS_PER_MS",
     "NS_PER_S",
     "NS_PER_US",
+    "PeriodicTask",
     "PriorityItem",
     "PriorityStore",
     "Process",

@@ -9,8 +9,11 @@ returns, so processes can ``yield other_process`` to join on it.
 The fast path: a process may also ``yield`` a plain non-negative ``int`` —
 a pure delay. Instead of allocating a :class:`~repro.sim.core.Timeout` (and
 its callback list) per sleep, the process parks a reusable
-:class:`~repro.sim.core._DelayWakeup` token directly on the simulator heap
-and resumes with ``None``, exactly as ``yield sim.timeout(n)`` would. The
+:class:`~repro.sim.core._DelayWakeup` token directly on the simulator's
+timer wheel and resumes with ``None``, exactly as ``yield sim.timeout(n)``
+would. (For *fixed-period* loops with no other yields, prefer
+:class:`~repro.sim.core.PeriodicTask`, which also skips the generator
+resume per tick.) The
 two spellings are observationally identical — same event ordering, same
 sequence-number consumption, same interrupt semantics — which
 ``tests/sim/test_fastpath.py`` asserts pairwise; the fast path is simply

@@ -10,7 +10,7 @@ burst: every ``period``, the guest burns ``duty`` of it as system time.
 
 from __future__ import annotations
 
-from ..sim import Simulator, ms
+from ..sim import PeriodicTask, Simulator, ms
 from .vm import VirtualMachine
 
 DEFAULT_PERIOD = ms(10)
@@ -37,16 +37,14 @@ class GuestBackgroundLoad:
         self.period = period
         self.kind = kind
         self.bursts = 0
+        self._burst = round(period * duty)
         if duty > 0:
-            sim.spawn(self._loop(), name=f"background-{vm.name}")
+            self._task = PeriodicTask(sim, period, self._tick, name=f"background-{vm.name}")
 
-    def _loop(self):
-        burst = round(self.period * self.duty)
-        while True:
-            yield self.sim.timeout(self.period)
-            # Submit without waiting: if the guest is starved the backlog
-            # is bounded to one burst (skip when the previous one is still
-            # queued, like a timer tick coalescing).
-            if self.vm.guest.queue_length < 64:
-                self.vm.submit(burst, kind=self.kind)
-                self.bursts += 1
+    def _tick(self) -> None:
+        # Submit without waiting: if the guest is starved the backlog
+        # is bounded to one burst (skip when the previous one is still
+        # queued, like a timer tick coalescing).
+        if self.vm.guest.queue_length < 64:
+            self.vm.submit(self._burst, kind=self.kind)
+            self.bursts += 1

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from ..sim import Interrupt, Simulator, Tracer
+from ..sim import Interrupt, PeriodicTask, Simulator, Tracer
 from .cpu import PhysicalCPU
 from .params import CreditParams
 from .vcpu import VCPU, Priority, VCPUState
@@ -58,8 +58,12 @@ class CreditScheduler:
         self._active_vcpus: set[VCPU] = set()
         for cpu in self.cpus:
             cpu.loop = sim.spawn(self._cpu_loop(cpu), name=f"cpu{cpu.index}-loop")
-        sim.spawn(self._tick_loop(), name="csched-tick")
-        sim.spawn(self._accounting_loop(), name="csched-accounting")
+        self._tick_task = PeriodicTask(
+            sim, self.params.tick_period, self._on_tick, name="csched-tick"
+        )
+        self._accounting_task = PeriodicTask(
+            sim, self.params.accounting_period, self._do_accounting, name="csched-accounting"
+        )
 
     # -- domain management ----------------------------------------------------
 
@@ -374,33 +378,25 @@ class CreditScheduler:
 
     # -- periodic machinery -----------------------------------------------------------
 
-    def _tick_loop(self):
+    def _on_tick(self) -> None:
         """Every 10 ms: expire boosts, activate runners, re-evaluate.
 
         (Credit debiting happens continuously in :meth:`_charge`; the
         tick retains its scheduling roles.)
         """
-        while True:
-            yield self.params.tick_period
-            for cpu in self.cpus:
-                running = cpu.current
-                if running is None:
-                    continue
-                running.boosted = False
-                # A VCPU caught consuming CPU joins the active set
-                # (csched_vcpu_acct does exactly this on the tick).
-                self._active_vcpus.add(running)
-                # If the debit dropped the runner below a queued VCPU's
-                # band, reschedule (Xen re-evaluates on the tick timer).
-                head = cpu.run_queue[0] if cpu.run_queue else None
-                if head is not None and head.effective_priority() < running.effective_priority():
-                    self._preempt(cpu)
-
-    def _accounting_loop(self):
-        """Every 30 ms: redistribute credits by weight among active domains."""
-        while True:
-            yield self.params.accounting_period
-            self._do_accounting()
+        for cpu in self.cpus:
+            running = cpu.current
+            if running is None:
+                continue
+            running.boosted = False
+            # A VCPU caught consuming CPU joins the active set
+            # (csched_vcpu_acct does exactly this on the tick).
+            self._active_vcpus.add(running)
+            # If the debit dropped the runner below a queued VCPU's
+            # band, reschedule (Xen re-evaluates on the tick timer).
+            head = cpu.run_queue[0] if cpu.run_queue else None
+            if head is not None and head.effective_priority() < running.effective_priority():
+                self._preempt(cpu)
 
     def _do_accounting(self) -> None:
         """Distribute credits among *active* VCPUs by domain weight.

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..sim import Simulator, Tracer
+from ..sim import PeriodicTask, Simulator, Tracer
 from .vm import VirtualMachine
 
 
@@ -147,22 +147,20 @@ class MemoryBalancerPolicy:
         self.chunk_mb = chunk_mb
         self.threshold = threshold
         self.moves = 0
-        sim.spawn(self._loop(period), name="memory-balancer")
+        self._task = PeriodicTask(sim, period, self._rebalance, name="memory-balancer")
 
-    def _loop(self, period: int):
-        while True:
-            yield self.sim.timeout(period)
-            vms = list(self.balloon._vms.values())
-            if len(vms) < 2:
-                continue
-            ranked = sorted(vms, key=lambda vm: self.balloon.pressure(vm.name))
-            donor, taker = ranked[0], ranked[-1]
-            spread = self.balloon.pressure(taker.name) - self.balloon.pressure(donor.name)
-            if spread < self.threshold:
-                continue
-            before = donor.memory_mb
-            after = self.balloon.adjust(donor.name, -self.chunk_mb)
-            freed = before - after
-            if freed > 0:
-                self.balloon.adjust(taker.name, freed)
-                self.moves += 1
+    def _rebalance(self) -> None:
+        vms = list(self.balloon._vms.values())
+        if len(vms) < 2:
+            return
+        ranked = sorted(vms, key=lambda vm: self.balloon.pressure(vm.name))
+        donor, taker = ranked[0], ranked[-1]
+        spread = self.balloon.pressure(taker.name) - self.balloon.pressure(donor.name)
+        if spread < self.threshold:
+            return
+        before = donor.memory_mb
+        after = self.balloon.adjust(donor.name, -self.chunk_mb)
+        freed = before - after
+        if freed > 0:
+            self.balloon.adjust(taker.name, freed)
+            self.moves += 1

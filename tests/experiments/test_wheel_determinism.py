@@ -1,0 +1,51 @@
+"""Wheel-vs-heap determinism at the experiment level.
+
+The kernel-level tests (``tests/sim/test_timerwheel.py``) prove pop-order
+equality on synthetic schedules; here the full RUBiS deployment — credit
+scheduler ticks, samplers, power meter, background load, coordination
+channel — runs once through the timer wheel and once through the classic
+heap (``fastpath=False``), and the *rendered paper artefacts* must be
+bit-identical. Chaos and energy/QoS arms have the same paired assertion
+in their own test modules; RUBiS closes the set named by the roadmap.
+"""
+
+import pytest
+
+from repro.apps.rubis import RubisConfig
+from repro.experiments import (
+    render_figure2,
+    render_figure4,
+    render_table1,
+    run_rubis_pair,
+)
+from repro.sim import ms, seconds
+
+
+@pytest.fixture(scope="module")
+def wheel_and_heap_pairs():
+    config = RubisConfig(
+        num_sessions=12,
+        requests_per_session=5,
+        think_time_mean=ms(150),
+        warmup=seconds(2),
+    )
+    shared = dict(duration=seconds(8), seed=7, config=config)
+    return (
+        run_rubis_pair(fastpath=True, **shared),
+        run_rubis_pair(fastpath=False, **shared),
+    )
+
+
+class TestRubisWheelVsHeap:
+    def test_rendered_artefacts_bit_identical(self, wheel_and_heap_pairs):
+        wheel, heap = wheel_and_heap_pairs
+        for render in (render_figure2, render_figure4, render_table1):
+            assert render(wheel) == render(heap)
+
+    def test_metrics_bit_identical(self, wheel_and_heap_pairs):
+        wheel, heap = wheel_and_heap_pairs
+        for arm_w, arm_h in ((wheel.base, heap.base), (wheel.coord, heap.coord)):
+            assert arm_w.per_type == arm_h.per_type
+            assert arm_w.tunes_applied == arm_h.tunes_applied
+            assert arm_w.sessions_completed == arm_h.sessions_completed
+            assert arm_w.utilization == arm_h.utilization

@@ -235,7 +235,8 @@ class TestTimeoutCancel:
         assert timer.cancel() is True
         sim.run()
         assert fired == []
-        assert sim.now == 50  # the heap entry still advances the clock
+        # Cancelled entries are skip-popped without advancing the clock.
+        assert sim.now == 0
 
     def test_cancel_after_fire_returns_false(self):
         sim = Simulator()
@@ -270,10 +271,11 @@ class TestTimeoutCancel:
         for timer in doomed:
             timer.cancel()
         # The 64th cancel crosses the >=64-and-majority threshold and
-        # rebuilds the heap without the dead entries; the stragglers
+        # rebuilds the containers without the dead entries; the stragglers
         # cancelled after that stay lazily pending.
         assert sim._cancelled_pending == 36
-        assert len(sim._heap) == 2 + sim._cancelled_pending
+        queued = len(sim._ready) + sim._wheel_count + len(sim._heap)
+        assert queued == 2 + sim._cancelled_pending
         sim.run()
         assert fired == ["early", "late"]
         assert sim.now == 2_000

@@ -3,6 +3,7 @@
 Usage::
 
     PYTHONPATH=src python tools/profile_run.py [--duration SECONDS] [--top N]
+                                               [--sort KEY] [--output FILE]
 
 This is the tool that motivated the kernel fast path: before it, the top
 of this profile was dominated by ``Timeout.__init__`` / ``Event``
@@ -45,6 +46,11 @@ def main() -> None:
         "--sort", default="cumulative", choices=["cumulative", "tottime", "calls"],
         help="pstats sort key (default: cumulative)",
     )
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout (for diffing "
+             "profiles across kernel changes)",
+    )
     args = parser.parse_args()
 
     profiler = cProfile.Profile()
@@ -52,11 +58,20 @@ def main() -> None:
     result = run_rubis(coordinated=True, duration=seconds(args.duration), seed=1)
     profiler.disable()
 
-    print(f"RUBiS coordinated, {args.duration:g} simulated seconds: "
-          f"throughput {result.throughput:.1f} req/s, "
-          f"mean response {result.overall.mean:.0f} ms\n")
-    stats = pstats.Stats(profiler)
-    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    header = (f"RUBiS coordinated, {args.duration:g} simulated seconds: "
+              f"throughput {result.throughput:.1f} req/s, "
+              f"mean response {result.overall.mean:.0f} ms\n")
+    if args.output is None:
+        print(header)
+        stats = pstats.Stats(profiler)
+        stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    else:
+        with args.output.open("w") as sink:
+            sink.write(header + "\n")
+            stats = pstats.Stats(profiler, stream=sink)
+            stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+        print(header, end="")
+        print(f"profile written to {args.output}")
 
 
 if __name__ == "__main__":
