@@ -27,7 +27,7 @@ or run a whole paper experiment::
 """
 
 from .platform import EntityId, GlobalController, Island
-from .testbed import ChannelConfig, ClientHost, Testbed, TestbedConfig
+from .testbed import ChannelConfig, ClientHost, FabricTestbed, Testbed, TestbedConfig
 
 __version__ = "1.0.0"
 
@@ -37,6 +37,7 @@ __all__ = [
     "EntityId",
     "GlobalController",
     "Island",
+    "FabricTestbed",
     "Testbed",
     "TestbedConfig",
     "__version__",

@@ -9,6 +9,8 @@ Usage::
     python -m repro power-cap [--cap W]  # extension experiment
     python -m repro energyqos            # energy/QoS co-optimization
     python -m repro chaos                # robustness blackout sweep
+    python -m repro scalability          # K-island mesh coordination sweep
+    python -m repro fabric               # control-plane fabric sweep (K<=128)
     python -m repro trace [--out F]      # traced run -> chrome://tracing JSON
     python -m repro all                  # everything (several minutes)
 
@@ -37,6 +39,8 @@ from .experiments import (
     names,
     render_chaos,
     render_control_loops,
+    render_fabric,
+    render_scalability,
     render_figure2,
     render_figure4,
     render_figure5,
@@ -49,6 +53,8 @@ from .experiments import (
     render_table3,
     run_chaos_sweep,
     run_energy_qos,
+    run_fabric,
+    run_scalability,
     run_power_cap,
     run_qos_ladder,
     run_rubis_pair,
@@ -108,6 +114,21 @@ def cmd_energyqos(args) -> None:
             artefacts=("chaos",), in_all=False)
 def cmd_chaos(args) -> None:
     _emit(render_chaos(run_chaos_sweep(seed=args.seed)))
+
+
+@experiment("scalability", help="Extension: coordination scalability — "
+            "K-island meshes, centralized vs distributed message concentration",
+            artefacts=("scalability",), in_all=False)
+def cmd_scalability(args) -> None:
+    _emit(render_scalability(run_scalability()))
+
+
+@experiment("fabric", help="Extension: control-plane fabrics at scale — "
+            "central/hierarchical/gossip directories, K in {8,32,128}, "
+            "concentration + post-partition discovery convergence",
+            artefacts=("fabric",), in_all=False)
+def cmd_fabric(args) -> None:
+    _emit(render_fabric(run_fabric(seed=args.seed)))
 
 
 @experiment("trace", help="Causally-traced run -> chrome://tracing JSON + "

@@ -102,6 +102,18 @@ class CoordinationAgent:
         #: outside an agent): skipped from ``apply_latencies``, not lost.
         self.untimestamped_applies = 0
         self._custom_handlers: dict[type, list] = {}
+        # -- fabric state (inert until a directory is attached) -----------
+        #: The control-plane directory this agent resolves remote entities
+        #: through (None = pre-fabric behaviour: unknown entities are
+        #: counted and dropped).
+        self._directory = None
+        #: ``forward(owner_island_name, message) -> bool`` relay hook
+        #: installed by the mesh; returns True when the message was routed
+        #: one hop toward its owner.
+        self._forward = None
+        #: Messages relayed toward their owning island instead of dying
+        #: as unknown-entity drops.
+        self.forwarded_messages = 0
         # -- fault-domain state (inert until a detector is attached) ------
         #: This agent's epoch; stamped onto every outgoing Tune/Trigger.
         #: Bumped by the failure detector on recovery (and on restart
@@ -131,6 +143,45 @@ class CoordinationAgent:
         plug in here without touching Tune/Trigger handling.
         """
         self._custom_handlers.setdefault(message_type, []).append(handler)
+
+    # -- fabric surface -------------------------------------------------------
+
+    def attach_directory(self, directory, forward=None) -> None:
+        """Bind this agent to the control-plane directory.
+
+        With a directory attached, a Tune/Trigger for an entity this
+        island does not own is *resolved* (``directory.lookup``) instead
+        of dropped; when ``forward`` is also given and the entity lives
+        elsewhere, the message is relayed one hop toward its owner
+        (counted in :attr:`forwarded_messages`, traced as
+        ``msg-forwarded``). Without a directory the pre-fabric behaviour
+        is untouched: unknown entities count and drop.
+        """
+        self._directory = directory
+        self._forward = forward
+
+    def _resolve_remote(self, message) -> bool:
+        """Try to relay a message for a non-local entity toward its owner.
+
+        True when the directory named another island as the owner *and*
+        the mesh's forward hook routed the message one hop that way. The
+        original ``sent_at`` rides along, so apply-latency accounting
+        spans the whole relay path.
+        """
+        if self._directory is None:
+            return False
+        owner = self._directory.lookup(message.entity, frm=self.island.name)
+        if owner is None or owner == self.island.name or self._forward is None:
+            return False
+        if not self._forward(owner, message):
+            return False
+        self.forwarded_messages += 1
+        if self.tracer.wants("msg-forwarded"):
+            self.tracer.emit(
+                "coord", "msg-forwarded", at=self.endpoint.name, to=owner,
+                entity=str(message.entity),
+            )
+        return True
 
     # -- fault-domain surface -------------------------------------------------
 
@@ -311,6 +362,8 @@ class CoordinationAgent:
             )
         if isinstance(message, TuneMessage):
             if not self.island.has_entity(message.entity):
+                if self._resolve_remote(message):
+                    return
                 self.unknown_entities += 1
                 self.tracer.emit("coord", "unknown-entity", entity=str(message.entity))
                 return
@@ -319,6 +372,8 @@ class CoordinationAgent:
             self._record_apply_latency(message)
         elif isinstance(message, TriggerMessage):
             if not self.island.has_entity(message.entity):
+                if self._resolve_remote(message):
+                    return
                 self.unknown_entities += 1
                 self.tracer.emit("coord", "unknown-entity", entity=str(message.entity))
                 return

@@ -31,6 +31,18 @@ from .mplayer import (
     run_trigger_pair,
     trigger_config,
 )
+from .fabric import (
+    FabricArmResult,
+    render_fabric,
+    run_fabric,
+    run_fabric_arm,
+)
+from .scalability import (
+    ScalabilityArmResult,
+    render_scalability,
+    run_scalability,
+    run_scalability_arm,
+)
 from .energyqos import (
     GUEST_SPECS,
     EnergyQosArmResult,
@@ -90,6 +102,14 @@ __all__ = [
     "TriggerRunResult",
     "EnergyQosArmResult",
     "EnergyQosResult",
+    "FabricArmResult",
+    "ScalabilityArmResult",
+    "render_fabric",
+    "render_scalability",
+    "run_fabric",
+    "run_fabric_arm",
+    "run_scalability",
+    "run_scalability_arm",
     "GUEST_SPECS",
     "PowerCapArmResult",
     "PowerCapResult",

@@ -78,6 +78,12 @@ class FaultInjector:
         fault_windows: dict[str, list[tuple[int, int, Optional[str]]]] = {}
         for event in self.plan.events:
             if isinstance(event, ChannelBlackout):
+                endpoints = (self.channel.a.name, self.channel.b.name)
+                if event.direction != "both" and event.direction not in endpoints:
+                    raise ValueError(
+                        f"blackout direction {event.direction!r} names neither "
+                        f"endpoint of the channel {endpoints}"
+                    )
                 self.sim.call_at(event.start, lambda e=event: self._begin_blackout(e))
                 self.sim.call_at(event.end, lambda e=event: self._end_blackout(e))
             elif isinstance(event, AgentCrash):

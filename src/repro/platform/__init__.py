@@ -1,11 +1,29 @@
-"""Platform topology: scheduling islands, entity identity, global controller.
+"""Platform topology: scheduling islands, entity identity, the directory.
 
 This package defines the *interfaces* the paper's coordination layer is
 written against; the concrete islands live in :mod:`repro.x86` and
-:mod:`repro.ixp`.
+:mod:`repro.ixp`. The control plane is pluggable: a
+:class:`~repro.platform.directory.Directory` (central, hierarchical or
+gossip) resolves entity ownership over a declarative
+:class:`~repro.platform.fabric.FabricTopology`, and the paper-era
+:class:`GlobalController` is the central flavour under its original name.
 """
 
-from .controller import GlobalController, UnknownEntityError
+from .controller import GlobalController
+from .directory import (
+    DIRECTORY_KINDS,
+    CentralDirectory,
+    ClusterLoad,
+    Directory,
+    DirectoryBase,
+    GossipDirectory,
+    HierarchicalDirectory,
+    OwnershipRecord,
+    PeerRecord,
+    UnknownEntityError,
+    build_directory,
+)
+from .fabric import DEFAULT_LINK_LATENCY, ClusterSpec, FabricTopology
 from .identity import EntityId, flow_id, vm_id
 from .island import Island
 from .knobs import (
@@ -19,20 +37,37 @@ from .knobs import (
     UnsupportedTriggerError,
     weight_knob,
 )
+from .protocols import HealthSource, Observatory, StatsChannel
 
 __all__ = [
     "ACTUATION_TRACE_KINDS",
     "ActuationRecord",
+    "CentralDirectory",
+    "ClusterLoad",
+    "ClusterSpec",
+    "DEFAULT_LINK_LATENCY",
+    "DIRECTORY_KINDS",
+    "Directory",
+    "DirectoryBase",
     "EntityId",
+    "FabricTopology",
     "GlobalController",
+    "GossipDirectory",
+    "HealthSource",
+    "HierarchicalDirectory",
     "Island",
     "Knob",
     "KnobError",
     "KnobRegistry",
+    "Observatory",
+    "OwnershipRecord",
+    "PeerRecord",
+    "StatsChannel",
     "TriggerSpec",
     "UnknownEntityError",
     "UnknownKnobError",
     "UnsupportedTriggerError",
+    "build_directory",
     "flow_id",
     "vm_id",
     "weight_knob",

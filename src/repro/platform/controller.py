@@ -6,184 +6,27 @@ complete knowledge of the system platform, in our prototype ... part of Xen
 Dom0)." The controller does not make resource decisions itself — it only
 resolves which island owns which entity, so islands can address Tunes and
 Triggers to each other.
+
+Since the fabric refactor this is a *name*, not a mechanism: the
+machinery lives in :class:`~repro.platform.directory.CentralDirectory`
+(one of three :class:`~repro.platform.directory.Directory`
+implementations), and ``GlobalController`` is that class under its
+paper-era name so the two-island prototype reads like the paper.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from .directory import CentralDirectory, UnknownEntityError
 
-from ..sim import Simulator, Tracer
-from .identity import EntityId
-from .island import Island
+__all__ = ["GlobalController", "UnknownEntityError"]
 
 
-class UnknownEntityError(KeyError):
-    """Raised when a coordination message names an unregistered entity."""
+class GlobalController(CentralDirectory):
+    """Registry of islands and of the entities deployed across them.
 
-
-class GlobalController:
-    """Registry of islands and of the entities deployed across them."""
-
-    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None):
-        self.sim = sim
-        self.tracer = tracer or Tracer(sim, enabled=False)
-        self._islands: dict[str, Island] = {}
-        self._owner_of: dict[EntityId, str] = {}
-        self._channels: dict[str, object] = {}
-        self._health_sources: dict[str, object] = {}
-        #: The attached control-loop observatory (a
-        #: :class:`~repro.obs.ControlLoopCollector`), when tracing is on.
-        self._observatory: Optional[object] = None
-
-    # -- island registration ----------------------------------------------
-
-    def register_island(self, island: Island) -> None:
-        """Admit an island (and any entities it already knows about)."""
-        if island.name in self._islands:
-            raise ValueError(f"island {island.name!r} already registered")
-        self._islands[island.name] = island
-        island.attach_controller(self)
-        for entity_id in island.entities():
-            self.note_entity(island, entity_id)
-        self.tracer.emit("controller", "island-registered", island=island.name)
-
-    def note_entity(self, island: Island, entity_id: EntityId) -> None:
-        """Record that ``entity_id`` lives on ``island``."""
-        self._owner_of[entity_id] = island.name
-        self.tracer.emit(
-            "controller", "entity-registered", island=island.name, entity=str(entity_id)
-        )
-
-    # -- channel health ----------------------------------------------------
-
-    def register_channel(self, name: str, channel) -> None:
-        """Admit a coordination channel (raw or reliable) for platform-wide
-        health reporting. ``channel`` must expose ``stats() -> dict``."""
-        if name in self._channels:
-            raise ValueError(f"channel {name!r} already registered")
-        if not callable(getattr(channel, "stats", None)):
-            raise TypeError(f"channel {name!r} does not expose stats()")
-        self._channels[name] = channel
-        self.tracer.emit("controller", "channel-registered", channel=name)
-
-    def channel_health(self) -> dict[str, dict]:
-        """Current counters of every registered coordination channel —
-        the platform-wide view of delivery, loss, retransmission and
-        dead-letter behaviour that scaling to many islands requires.
-        Channels exposing ``dead_letters_by_entity()`` (the reliable
-        layer) additionally report *which* entities' frames died, so a
-        health consumer can react per target instead of reading one bare
-        counter."""
-        health: dict[str, dict] = {}
-        for name, channel in self._channels.items():
-            stats = dict(channel.stats())
-            by_entity = getattr(channel, "dead_letters_by_entity", None)
-            if callable(by_entity):
-                stats["dead_letters_by_entity"] = by_entity()
-            health[name] = stats
-        return health
-
-    # -- peer health ---------------------------------------------------------
-
-    def register_health(self, name: str, source) -> None:
-        """Admit a peer-health source (a :class:`~repro.faults.
-        FailureDetector`, duck-typed: must expose ``health() -> dict``)."""
-        if name in self._health_sources:
-            raise ValueError(f"health source {name!r} already registered")
-        if not callable(getattr(source, "health", None)):
-            raise TypeError(f"health source {name!r} does not expose health()")
-        self._health_sources[name] = source
-        self.tracer.emit("controller", "health-registered", detector=name)
-
-    def health(self) -> dict[str, dict]:
-        """Peer-health snapshot of every registered failure detector:
-        state, epochs, heartbeat counters and the transition timeline.
-        Empty when the fault domain is unarmed."""
-        return {name: source.health() for name, source in self._health_sources.items()}
-
-    # -- actuation layer ----------------------------------------------------
-
-    def knob_snapshot(self) -> dict[str, dict]:
-        """Typed description of every knob registered platform-wide.
-
-        Keys are stringified entity ids (``island/name``); values carry the
-        knob kind, native unit, current value, bounds, step, trigger
-        capability and active lease count — the reflective capability
-        discovery that scaling coordination to many resource types needs.
-        """
-        snapshot: dict[str, dict] = {}
-        for island in self._islands.values():
-            registry = getattr(island, "knobs", None)
-            if registry is not None:
-                snapshot.update(registry.snapshot())
-        return snapshot
-
-    def actuation_audit(self) -> list:
-        """Every island's actuation records merged into one platform-wide
-        trail, ordered by (time, island, sequence) — who tuned what, when,
-        the requested vs. clamped-applied value, and any rejection reason."""
-        records = []
-        for island in self._islands.values():
-            registry = getattr(island, "knobs", None)
-            if registry is not None:
-                records.extend(registry.audit)
-        records.sort(key=lambda r: (r.time, r.island, r.seq))
-        return records
-
-    def actuation_stats(self) -> dict[str, dict[str, int]]:
-        """Per-island actuation counters (tunes, clamps, triggers,
-        unsupported triggers), keyed by island name."""
-        return {
-            island.name: island.knobs.stats()
-            for island in self._islands.values()
-            if getattr(island, "knobs", None) is not None
-        }
-
-    # -- control-loop observatory -------------------------------------------
-
-    def attach_observatory(self, collector: object) -> None:
-        """Admit the platform's control-loop observatory.
-
-        ``collector`` must expose ``report() -> dict`` (duck-typed so the
-        platform layer stays import-free of :mod:`repro.obs`); the testbed
-        attaches its :class:`~repro.obs.ControlLoopCollector` here when
-        tracing is enabled.
-        """
-        if not callable(getattr(collector, "report", None)):
-            raise TypeError("observatory does not expose report()")
-        self._observatory = collector
-        self.tracer.emit("controller", "observatory-attached")
-
-    @property
-    def observatory(self) -> Optional[object]:
-        """The attached control-loop collector, or None when untraced."""
-        return self._observatory
-
-    def control_loops(self) -> dict:
-        """Control-loop latency introspection: counters plus per-entity and
-        per-reason stage percentiles of every completed decision loop.
-        Empty when no observatory is attached (tracing off)."""
-        if self._observatory is None:
-            return {}
-        return self._observatory.report()
-
-    # -- lookups ------------------------------------------------------------
-
-    def island(self, name: str) -> Island:
-        """The island registered under ``name``; KeyError if unknown."""
-        return self._islands[name]
-
-    def islands(self) -> Iterable[Island]:
-        """All registered islands, in registration order."""
-        return list(self._islands.values())
-
-    def owner_of(self, entity_id: EntityId) -> Island:
-        """The island that owns ``entity_id``."""
-        island_name = self._owner_of.get(entity_id)
-        if island_name is None:
-            raise UnknownEntityError(f"no island has registered entity {entity_id}")
-        return self._islands[island_name]
-
-    def known_entities(self) -> list[EntityId]:
-        """Every entity registered platform-wide."""
-        return list(self._owner_of)
+    The paper's centralized control plane: every island registers here,
+    every entity lookup resolves here. Exactly a
+    :class:`~repro.platform.directory.CentralDirectory` — kept as its own
+    class so paper-era call sites (and the audit baseline of the fabric
+    experiment) keep their vocabulary.
+    """

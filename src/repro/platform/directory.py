@@ -1,0 +1,830 @@
+"""The directory layer: pluggable entity-ownership and health registries.
+
+The paper's prototype registers every island with one global controller
+(§2.3) — fine for two islands, a scaling wall for hundreds. This module
+extracts the controller's duties (entity ownership, channel health, peer
+health, actuation introspection, the observatory) behind a
+:class:`Directory` contract with three interchangeable implementations:
+
+* :class:`CentralDirectory` — today's behaviour and the audit baseline:
+  one authoritative table, every discovery message lands on the hub
+  (O(K) concentration). :class:`~repro.platform.GlobalController` is
+  this class under its paper-era name.
+* :class:`HierarchicalDirectory` — island clusters with local aggregator
+  nodes (shape declared by a :class:`~repro.platform.fabric.
+  FabricTopology`): cluster-local ownership tables at aggregators, a
+  root table mapping entities to clusters, load reports coalesced
+  upward once per aggregation period, and Tunes fanned downward through
+  each island's PR-3 knob registry. Concentration O(fanout).
+* :class:`GossipDirectory` — no rendezvous point at all: every node
+  holds a *view* of entity-ownership and peer-health records, and an
+  anti-entropy round (a deterministic :class:`~repro.sim.PeriodicTask`)
+  push-pull merges views pairwise. Records carry ``(epoch, version)``
+  stamps riding the PR-5 fault-domain idiom, so a node that rejoins
+  after a partition reconciles instead of resurrecting stale ownership.
+  Concentration O(1) per node per round.
+
+All three keep *message accounting* per node (:meth:`DirectoryBase.
+message_counts`): the fabric experiment's concentration measurements
+read straight out of the directory, no tracing required. Ownership moves
+(an entity re-registering from a different island) are counted and
+traced (``entity-moved``) instead of silently overwritten — the fabric
+era's handoffs are observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Protocol, runtime_checkable
+
+from ..sim import PeriodicTask, RandomStream, RandomStreams, Simulator, Tracer, ms
+from .fabric import FabricTopology
+from .identity import EntityId
+from .island import Island
+from .protocols import HealthSource, Observatory, StatsChannel
+
+
+class UnknownEntityError(KeyError):
+    """Raised when a coordination message names an unregistered entity."""
+
+
+@runtime_checkable
+class Directory(Protocol):
+    """What a control-plane directory must provide.
+
+    Structural contract implemented by :class:`CentralDirectory`,
+    :class:`HierarchicalDirectory` and :class:`GossipDirectory` (and, by
+    inheritance, the legacy :class:`~repro.platform.GlobalController`).
+    Anything consuming "the controller" — testbeds, meshes, agents,
+    metrics collectors — should require no more than this.
+    """
+
+    def register_island(self, island: Island) -> None: ...
+
+    def note_entity(self, island: Island, entity_id: EntityId) -> None: ...
+
+    def owner_of(self, entity_id: EntityId) -> Island: ...
+
+    def lookup(self, entity_id: EntityId, frm: Optional[str] = None) -> Optional[str]: ...
+
+    def known_entities(self) -> list[EntityId]: ...
+
+    def island(self, name: str) -> Island: ...
+
+    def islands(self) -> Iterable[Island]: ...
+
+    def register_channel(self, name: str, channel: StatsChannel) -> None: ...
+
+    def channel_health(self) -> dict[str, dict]: ...
+
+    def register_health(self, name: str, source: HealthSource) -> None: ...
+
+    def health(self) -> dict[str, dict]: ...
+
+    def knob_snapshot(self) -> dict[str, dict]: ...
+
+    def message_counts(self) -> dict[str, int]: ...
+
+
+@dataclass(frozen=True, slots=True)
+class OwnershipRecord:
+    """One versioned entity-ownership fact, as gossip disseminates it.
+
+    ``(epoch, version)`` orders records: the epoch bumps on ownership
+    moves and post-partition rejoins (the PR-5 recovery idiom), the
+    version on every re-registration. Higher tuples win reconciliation.
+    """
+
+    entity: EntityId
+    owner: str
+    epoch: int
+    version: int
+    stamped_at: int
+
+    @property
+    def stamp(self) -> tuple[int, int]:
+        return (self.epoch, self.version)
+
+
+@dataclass(frozen=True, slots=True)
+class PeerRecord:
+    """One node's gossiped liveness claim about itself.
+
+    ``heartbeat`` increments every round the node participates in;
+    ``epoch`` bumps when the node rejoins after isolation. A record that
+    stops advancing is the epidemic analogue of a missed heartbeat."""
+
+    node: str
+    epoch: int
+    heartbeat: int
+    stamped_at: int
+
+    @property
+    def stamp(self) -> tuple[int, int]:
+        return (self.epoch, self.heartbeat)
+
+
+class DirectoryBase:
+    """Shared machinery of every directory implementation.
+
+    Holds the island/channel/health/observatory registries (identical
+    across fabrics), per-node message accounting, partition bookkeeping
+    (:meth:`isolate` / :meth:`heal`) and the entity-moved audit.
+    Ownership storage and resolution are the strategy subclasses vary.
+    """
+
+    #: Whether registrations from an isolated island defer until heal
+    #: (true for fabrics with a rendezvous point the registration RPC
+    #: cannot reach; gossip overrides — an isolated node still records
+    #: facts in its own view and spreads them after the heal).
+    _defers_when_isolated = True
+
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.tracer = tracer or Tracer(sim, enabled=False)
+        self._islands: dict[str, Island] = {}
+        self._channels: dict[str, StatsChannel] = {}
+        self._health_sources: dict[str, HealthSource] = {}
+        #: The attached control-loop observatory (a
+        #: :class:`~repro.obs.ControlLoopCollector`), when tracing is on.
+        self._observatory: Optional[Observatory] = None
+        #: Entities that re-registered from a different island — counted
+        #: and traced (``entity-moved``), never silently overwritten.
+        self.entity_moves = 0
+        self._node_messages: dict[str, int] = {}
+        self._isolated: set[str] = set()
+        self._pending_registrations: list[tuple[str, EntityId]] = []
+        self._registered_at: dict[EntityId, int] = {}
+        self._visible_at: dict[EntityId, int] = {}
+
+    # -- island registration ----------------------------------------------
+
+    def register_island(self, island: Island) -> None:
+        """Admit an island (and any entities it already knows about)."""
+        if island.name in self._islands:
+            raise ValueError(f"island {island.name!r} already registered")
+        self._islands[island.name] = island
+        self._admit_island(island)
+        island.attach_controller(self)
+        for entity_id in island.entities():
+            self.note_entity(island, entity_id)
+        self.tracer.emit("controller", "island-registered", island=island.name)
+
+    def note_entity(self, island: Island, entity_id: EntityId) -> None:
+        """Record that ``entity_id`` lives on ``island``.
+
+        A re-registration from a *different* island is an ownership
+        handoff: it is applied (latest registration wins, as before) but
+        now counted in :attr:`entity_moves` and traced as
+        ``entity-moved`` so fabric-era migrations are observable.
+        Registrations from an isolated island defer until :meth:`heal`
+        (except under gossip — see the class docstring).
+        """
+        if self._defers_when_isolated and island.name in self._isolated:
+            self._pending_registrations.append((island.name, entity_id))
+            self.tracer.emit(
+                "controller", "entity-deferred", island=island.name,
+                entity=str(entity_id),
+            )
+            return
+        self._admit_entity(island.name, entity_id)
+
+    def _admit_entity(self, island_name: str, entity_id: EntityId) -> None:
+        previous = self.owner_name(entity_id)
+        moved = previous is not None and previous != island_name
+        if moved:
+            self.entity_moves += 1
+            self.tracer.emit(
+                "controller", "entity-moved", entity=str(entity_id),
+                frm=previous, to=island_name,
+            )
+        self._registered_at[entity_id] = self.sim.now
+        self._record_owner(island_name, entity_id, moved=moved)
+        self.tracer.emit(
+            "controller", "entity-registered", island=island_name,
+            entity=str(entity_id),
+        )
+
+    # -- ownership strategy (subclass responsibility) ----------------------
+
+    def _admit_island(self, island: Island) -> None:
+        """Hook: per-implementation island bookkeeping (default none)."""
+
+    def _record_owner(self, island_name: str, entity_id: EntityId, moved: bool) -> None:
+        raise NotImplementedError
+
+    def owner_name(self, entity_id: EntityId) -> Optional[str]:
+        """The authoritative owning island's name, or None if unknown.
+
+        Free of message accounting: this is the oracle view used by
+        audits and by :meth:`note_entity`'s move detection, not the
+        distributed read path (:meth:`lookup`).
+        """
+        raise NotImplementedError
+
+    def lookup(self, entity_id: EntityId, frm: Optional[str] = None) -> Optional[str]:
+        """Resolve ``entity_id`` to an owning island name from node
+        ``frm``'s vantage point, accounting the discovery messages the
+        resolution costs. None when (locally) unknown."""
+        raise NotImplementedError
+
+    # -- lookups ------------------------------------------------------------
+
+    def owner_of(self, entity_id: EntityId) -> Island:
+        """The island that owns ``entity_id``."""
+        island_name = self.owner_name(entity_id)
+        if island_name is None:
+            raise UnknownEntityError(f"no island has registered entity {entity_id}")
+        return self._islands[island_name]
+
+    def island(self, name: str) -> Island:
+        """The island registered under ``name``; KeyError if unknown."""
+        return self._islands[name]
+
+    def islands(self) -> Iterable[Island]:
+        """All registered islands, in registration order."""
+        return list(self._islands.values())
+
+    def known_entities(self) -> list[EntityId]:
+        """Every entity registered platform-wide."""
+        return list(self._registered_at)
+
+    # -- partitions ----------------------------------------------------------
+
+    def isolate(self, island_name: str) -> None:
+        """Partition ``island_name`` away from the discovery plane."""
+        if island_name not in self._isolated:
+            self._isolated.add(island_name)
+            self.tracer.emit("controller", "node-isolated", island=island_name)
+
+    def heal(self, island_name: str) -> None:
+        """Heal the partition: flush deferred registrations, let the
+        implementation reconcile (gossip bumps the node's epoch)."""
+        if island_name not in self._isolated:
+            return
+        self._isolated.discard(island_name)
+        self.tracer.emit("controller", "node-healed", island=island_name)
+        self._on_heal(island_name)
+        pending = [(name, e) for name, e in self._pending_registrations
+                   if name == island_name]
+        self._pending_registrations = [
+            (name, e) for name, e in self._pending_registrations
+            if name != island_name
+        ]
+        for name, entity_id in pending:
+            self._admit_entity(name, entity_id)
+
+    def _on_heal(self, island_name: str) -> None:
+        """Hook: implementation-specific rejoin work (default none)."""
+
+    def isolated(self) -> frozenset:
+        """Currently partitioned island names."""
+        return frozenset(self._isolated)
+
+    # -- discovery instrumentation -------------------------------------------
+
+    def visible_at(self, entity_id: EntityId) -> Optional[int]:
+        """Simulation time at which ``entity_id``'s latest registration
+        became fabric-wide visible; None while still spreading."""
+        return self._visible_at.get(entity_id)
+
+    def discovery_latency(self, entity_id: EntityId) -> Optional[int]:
+        """``visible_at - registered_at`` of the latest registration."""
+        visible = self._visible_at.get(entity_id)
+        registered = self._registered_at.get(entity_id)
+        if visible is None or registered is None:
+            return None
+        return visible - registered
+
+    # -- message accounting ---------------------------------------------------
+
+    def _count(self, node: str, messages: int = 1) -> None:
+        self._node_messages[node] = self._node_messages.get(node, 0) + messages
+
+    def message_counts(self) -> dict[str, int]:
+        """Discovery/control messages handled per node — the per-node
+        concentration the fabric experiment measures (O(K) at a hub,
+        O(fanout) at aggregators, O(1) per gossip peer)."""
+        return dict(self._node_messages)
+
+    def messages_at(self, node: str) -> int:
+        """Messages this directory accounted to ``node``."""
+        return self._node_messages.get(node, 0)
+
+    # -- channel health ----------------------------------------------------
+
+    def register_channel(self, name: str, channel: StatsChannel) -> None:
+        """Admit a coordination channel (raw or reliable) for platform-wide
+        health reporting. ``channel`` must satisfy the
+        :class:`~repro.platform.protocols.StatsChannel` protocol."""
+        if name in self._channels:
+            raise ValueError(f"channel {name!r} already registered")
+        if not isinstance(channel, StatsChannel):
+            raise TypeError(f"channel {name!r} does not expose stats()")
+        self._channels[name] = channel
+        self.tracer.emit("controller", "channel-registered", channel=name)
+
+    def channel_health(self) -> dict[str, dict]:
+        """Current counters of every registered coordination channel —
+        the platform-wide view of delivery, loss, retransmission and
+        dead-letter behaviour that scaling to many islands requires.
+        Channels exposing ``dead_letters_by_entity()`` (the reliable
+        layer) additionally report *which* entities' frames died, so a
+        health consumer can react per target instead of reading one bare
+        counter."""
+        health: dict[str, dict] = {}
+        for name, channel in self._channels.items():
+            stats = dict(channel.stats())
+            by_entity = getattr(channel, "dead_letters_by_entity", None)
+            if callable(by_entity):
+                stats["dead_letters_by_entity"] = by_entity()
+            health[name] = stats
+        return health
+
+    # -- peer health ---------------------------------------------------------
+
+    def register_health(self, name: str, source: HealthSource) -> None:
+        """Admit a peer-health source (a :class:`~repro.faults.
+        FailureDetector`, or anything satisfying
+        :class:`~repro.platform.protocols.HealthSource`)."""
+        if name in self._health_sources:
+            raise ValueError(f"health source {name!r} already registered")
+        if not isinstance(source, HealthSource):
+            raise TypeError(f"health source {name!r} does not expose health()")
+        self._health_sources[name] = source
+        self.tracer.emit("controller", "health-registered", detector=name)
+
+    def health(self) -> dict[str, dict]:
+        """Peer-health snapshot of every registered failure detector:
+        state, epochs, heartbeat counters and the transition timeline.
+        Empty when the fault domain is unarmed."""
+        return {name: source.health() for name, source in self._health_sources.items()}
+
+    # -- actuation layer ----------------------------------------------------
+
+    def knob_snapshot(self) -> dict[str, dict]:
+        """Typed description of every knob registered platform-wide.
+
+        Keys are stringified entity ids (``island/name``); values carry the
+        knob kind, native unit, current value, bounds, step, trigger
+        capability and active lease count — the reflective capability
+        discovery that scaling coordination to many resource types needs.
+        """
+        snapshot: dict[str, dict] = {}
+        for island in self._islands.values():
+            registry = getattr(island, "knobs", None)
+            if registry is not None:
+                snapshot.update(registry.snapshot())
+        return snapshot
+
+    def actuation_audit(self) -> list:
+        """Every island's actuation records merged into one platform-wide
+        trail, ordered by (time, island, sequence) — who tuned what, when,
+        the requested vs. clamped-applied value, and any rejection reason."""
+        records = []
+        for island in self._islands.values():
+            registry = getattr(island, "knobs", None)
+            if registry is not None:
+                records.extend(registry.audit)
+        records.sort(key=lambda r: (r.time, r.island, r.seq))
+        return records
+
+    def actuation_stats(self) -> dict[str, dict[str, int]]:
+        """Per-island actuation counters (tunes, clamps, triggers,
+        unsupported triggers), keyed by island name."""
+        return {
+            island.name: island.knobs.stats()
+            for island in self._islands.values()
+            if getattr(island, "knobs", None) is not None
+        }
+
+    # -- control-loop observatory -------------------------------------------
+
+    def attach_observatory(self, collector: Observatory) -> None:
+        """Admit the platform's control-loop observatory.
+
+        ``collector`` must satisfy :class:`~repro.platform.protocols.
+        Observatory` (the platform layer stays import-free of
+        :mod:`repro.obs`); the testbed attaches its
+        :class:`~repro.obs.ControlLoopCollector` here when tracing is
+        enabled.
+        """
+        if not isinstance(collector, Observatory):
+            raise TypeError("observatory does not expose report()")
+        self._observatory = collector
+        self.tracer.emit("controller", "observatory-attached")
+
+    @property
+    def observatory(self) -> Optional[Observatory]:
+        """The attached control-loop collector, or None when untraced."""
+        return self._observatory
+
+    def control_loops(self) -> dict:
+        """Control-loop latency introspection: counters plus per-entity and
+        per-reason stage percentiles of every completed decision loop.
+        Empty when no observatory is attached (tracing off)."""
+        if self._observatory is None:
+            return {}
+        return self._observatory.report()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.__class__.__name__} islands={len(self._islands)} "
+            f"entities={len(self._registered_at)}>"
+        )
+
+
+class CentralDirectory(DirectoryBase):
+    """Registry of islands and entities behind one hub — the paper's
+    global controller and the fabric experiment's audit baseline.
+
+    Every registration and lookup is accounted to the hub (the first
+    registered island, or an explicit ``hub``): the O(K) concentration a
+    centralized control plane cannot escape. ``hop_latency`` models the
+    one network hop a registration takes to reach the hub, reflected in
+    :meth:`~DirectoryBase.visible_at` (zero by default, so the two-island
+    prototype is bit-identical to the pre-directory controller).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Optional[Tracer] = None,
+        hub: Optional[str] = None,
+        hop_latency: int = 0,
+    ):
+        super().__init__(sim, tracer=tracer)
+        self._hub = hub
+        self.hop_latency = hop_latency
+        self._owner_of: dict[EntityId, str] = {}
+
+    @property
+    def hub(self) -> Optional[str]:
+        """The hub node every directory message lands on."""
+        return self._hub
+
+    def _admit_island(self, island: Island) -> None:
+        if self._hub is None:
+            self._hub = island.name
+
+    def _record_owner(self, island_name: str, entity_id: EntityId, moved: bool) -> None:
+        self._owner_of[entity_id] = island_name
+        if self._hub is not None:
+            self._count(self._hub)
+        self._visible_at[entity_id] = self.sim.now + self.hop_latency
+
+    def owner_name(self, entity_id: EntityId) -> Optional[str]:
+        return self._owner_of.get(entity_id)
+
+    def lookup(self, entity_id: EntityId, frm: Optional[str] = None) -> Optional[str]:
+        """One round-trip to the hub, wherever the query comes from."""
+        if self._hub is not None:
+            self._count(self._hub)
+        return self._owner_of.get(entity_id)
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterLoad:
+    """One coalesced upward load report from an aggregator."""
+
+    cluster: str
+    mean: float
+    peak: float
+    reports: int
+    stamped_at: int
+
+
+class HierarchicalDirectory(DirectoryBase):
+    """Cluster-local ownership tables at aggregators, entity->cluster at
+    the root, load reports coalesced upward once per aggregation period.
+
+    The topology's clusters decide where messages land: registrations
+    and intra-cluster lookups cost the local aggregator one message,
+    cross-cluster resolution adds one at the root and one at the target
+    cluster's aggregator. Nothing ever concentrates more than
+    O(cluster fanout) on a single node.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: FabricTopology,
+        tracer: Optional[Tracer] = None,
+    ):
+        super().__init__(sim, tracer=tracer)
+        self.topology = topology
+        self._cluster_tables: dict[str, dict[EntityId, str]] = {
+            cluster.name: {} for cluster in topology.clusters
+        }
+        self._root_table: dict[EntityId, str] = {}
+        self._pending_reports: dict[str, dict[str, float]] = {}
+        self._cluster_loads: dict[str, ClusterLoad] = {}
+        self.reports_received = 0
+        self.reports_coalesced = 0
+        self.summaries_sent = 0
+        self._aggregate_task = PeriodicTask(
+            sim, topology.aggregate_period, self._aggregate_tick,
+            name="directory-aggregate",
+        )
+
+    def _cluster_name(self, island_name: str) -> str:
+        return self.topology.cluster_of(island_name).name
+
+    def _record_owner(self, island_name: str, entity_id: EntityId, moved: bool) -> None:
+        cluster = self._cluster_name(island_name)
+        if moved:
+            # Scrub the old cluster's table: a move across clusters must
+            # not leave a stale claim the old aggregator keeps serving.
+            previous = self._root_table.get(entity_id)
+            if previous is not None and previous != cluster:
+                self._cluster_tables[previous].pop(entity_id, None)
+        self._cluster_tables[cluster][entity_id] = island_name
+        self._count(self.topology.aggregator_of(island_name))
+        visible = self.sim.now + self.topology.link_latency
+        if self._root_table.get(entity_id) != cluster:
+            self._root_table[entity_id] = cluster
+            self._count(self.topology.root)
+            visible += self.topology.effective_uplink_latency
+        self._visible_at[entity_id] = visible
+
+    def owner_name(self, entity_id: EntityId) -> Optional[str]:
+        cluster = self._root_table.get(entity_id)
+        if cluster is None:
+            return None
+        return self._cluster_tables[cluster].get(entity_id)
+
+    def lookup(self, entity_id: EntityId, frm: Optional[str] = None) -> Optional[str]:
+        """Ask the local aggregator; escalate to the root (and the owning
+        cluster's aggregator) only for cross-cluster entities."""
+        origin = frm if frm is not None else self.topology.islands[0]
+        aggregator = self.topology.aggregator_of(origin)
+        self._count(aggregator)
+        own_cluster = self._cluster_name(origin)
+        owner = self._cluster_tables[own_cluster].get(entity_id)
+        if owner is not None:
+            return owner
+        self._count(self.topology.root)
+        cluster = self._root_table.get(entity_id)
+        if cluster is None:
+            return None
+        owner = self._cluster_tables[cluster].get(entity_id)
+        if cluster != own_cluster and owner is not None:
+            self._count(self.topology.aggregator_of(owner))
+        return owner
+
+    # -- upward load coalescing ---------------------------------------------
+
+    def report_load(self, island_name: str, value: float) -> None:
+        """Accept one island's load figure at its aggregator. Reports
+        accumulate per cluster and coalesce into a single upward summary
+        per aggregation period — each raw report costs its aggregator one
+        message (O(fanout) concentration), but only the coalesced summary
+        costs the root."""
+        cluster = self._cluster_name(island_name)
+        self._pending_reports.setdefault(cluster, {})[island_name] = value
+        self.reports_received += 1
+        self._count(self.topology.aggregator_of(island_name))
+
+    def _aggregate_tick(self) -> None:
+        for cluster in sorted(self._pending_reports):
+            reports = self._pending_reports[cluster]
+            if not reports:
+                continue
+            values = list(reports.values())
+            self._cluster_loads[cluster] = ClusterLoad(
+                cluster=cluster,
+                mean=sum(values) / len(values),
+                peak=max(values),
+                reports=len(values),
+                stamped_at=self.sim.now,
+            )
+            self.reports_coalesced += len(values)
+            self.summaries_sent += 1
+            self._count(self.topology.root)
+            reports.clear()
+
+    def cluster_loads(self) -> dict[str, ClusterLoad]:
+        """Latest coalesced per-cluster load summaries, as the root sees
+        them."""
+        return dict(self._cluster_loads)
+
+    # -- downward fan-out ----------------------------------------------------
+
+    def fan_tune(self, local_name: str, delta: int, reason: str = "fabric-fan") -> list:
+        """Fan one Tune to every island owning ``local_name`` through the
+        PR-3 knob registries: root -> aggregators (one message each) ->
+        member islands. Returns the actuation records, in fabric order."""
+        records = []
+        for cluster in self.topology.clusters:
+            table = self._cluster_tables[cluster.name]
+            targets = [
+                (entity, owner) for entity, owner in table.items()
+                if entity.local_name == local_name
+            ]
+            if not targets:
+                continue
+            self._count(cluster.aggregator)
+            for entity, owner in sorted(targets, key=lambda t: str(t[0])):
+                island = self._islands.get(owner)
+                if island is None or not island.has_entity(entity):
+                    continue
+                self._count(owner)
+                records.append(island.apply_tune(entity, delta))
+        return records
+
+
+class GossipDirectory(DirectoryBase):
+    """Epidemic dissemination of ownership and peer-health records.
+
+    Every node keeps a full *view* (entity -> :class:`OwnershipRecord`,
+    node -> :class:`PeerRecord`); an anti-entropy
+    :class:`~repro.sim.PeriodicTask` has each live node push-pull merge
+    with one deterministic random peer per round. Reconciliation is by
+    ``(epoch, version)`` — higher wins — so discovery converges after
+    partitions without a rendezvous point, and a rejoining node's
+    pre-partition records lose to anything the fabric learned meanwhile.
+
+    An isolated node skips rounds entirely (it can neither infect nor be
+    infected) but keeps recording its own facts; :meth:`~DirectoryBase.
+    heal` bumps its epoch (the PR-5 recovery idiom) and re-injects its
+    records into the next round's spread.
+    """
+
+    _defers_when_isolated = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Optional[Tracer] = None,
+        period: Optional[int] = None,
+        rng: Optional[RandomStream] = None,
+        seed: int = 1,
+    ):
+        super().__init__(sim, tracer=tracer)
+        self.period = period if period is not None else ms(50)
+        self.rng = rng if rng is not None else RandomStreams(seed).stream(
+            "gossip-directory"
+        )
+        self._views: dict[str, dict[EntityId, OwnershipRecord]] = {}
+        self._peer_views: dict[str, dict[str, PeerRecord]] = {}
+        self._authoritative: dict[EntityId, OwnershipRecord] = {}
+        self._node_epochs: dict[str, int] = {}
+        self._heartbeats: dict[str, int] = {}
+        #: entity -> nodes the latest record has not reached yet.
+        self._spreading: dict[EntityId, set[str]] = {}
+        self.rounds = 0
+        self.exchanges = 0
+        self._gossip_task = PeriodicTask(
+            sim, self.period, self._gossip_round, name="directory-gossip"
+        )
+
+    def _admit_island(self, island: Island) -> None:
+        self._views[island.name] = {}
+        self._peer_views[island.name] = {}
+        self._node_epochs[island.name] = 0
+        self._heartbeats[island.name] = 0
+
+    def _record_owner(self, island_name: str, entity_id: EntityId, moved: bool) -> None:
+        previous = self._authoritative.get(entity_id)
+        if previous is None:
+            epoch, version = 0, 0
+        elif moved:
+            epoch, version = previous.epoch + 1, previous.version + 1
+        else:
+            epoch, version = previous.epoch, previous.version + 1
+        record = OwnershipRecord(
+            entity=entity_id, owner=island_name, epoch=epoch, version=version,
+            stamped_at=self.sim.now,
+        )
+        self._authoritative[entity_id] = record
+        # The fact is born in the owner's own view and spreads from there.
+        self._views.setdefault(island_name, {})[entity_id] = record
+        self._count(island_name)
+        remaining = {node for node in self._views if node != island_name}
+        if remaining:
+            self._spreading[entity_id] = remaining
+            self._visible_at.pop(entity_id, None)
+        else:
+            self._spreading.pop(entity_id, None)
+            self._visible_at[entity_id] = self.sim.now
+
+    def owner_name(self, entity_id: EntityId) -> Optional[str]:
+        record = self._authoritative.get(entity_id)
+        return record.owner if record is not None else None
+
+    def lookup(self, entity_id: EntityId, frm: Optional[str] = None) -> Optional[str]:
+        """A purely local read of ``frm``'s view — one message at the
+        reading node, nowhere else. May be stale or None before the
+        epidemic reaches that node: that is the contract."""
+        if not self._views:
+            return None
+        node = frm if frm in self._views else next(iter(self._views))
+        self._count(node)
+        record = self._views[node].get(entity_id)
+        return record.owner if record is not None else None
+
+    # -- the epidemic --------------------------------------------------------
+
+    def _gossip_round(self) -> None:
+        nodes = sorted(self._views)
+        live = [node for node in nodes if node not in self._isolated]
+        self.rounds += 1
+        for node in live:
+            # Refresh the node's own liveness record, then infect a peer.
+            self._heartbeats[node] += 1
+            self._peer_views[node][node] = PeerRecord(
+                node=node, epoch=self._node_epochs[node],
+                heartbeat=self._heartbeats[node], stamped_at=self.sim.now,
+            )
+            peers = [peer for peer in live if peer != node]
+            if not peers:
+                continue
+            peer = peers[self.rng.randrange(len(peers))]
+            self._exchange(node, peer)
+
+    def _exchange(self, a: str, b: str) -> None:
+        """Push-pull anti-entropy between two nodes: both end up with the
+        union of their views, newer ``(epoch, version)`` stamps winning.
+        Costs two messages at each end (request + response)."""
+        self.exchanges += 1
+        self._count(a, 2)
+        self._count(b, 2)
+        for entity, record in list(self._views[a].items()):
+            self._offer(b, entity, record)
+        for entity, record in list(self._views[b].items()):
+            self._offer(a, entity, record)
+        for view in (self._peer_views[a], self._peer_views[b]):
+            for node, record in list(view.items()):
+                for other in (self._peer_views[a], self._peer_views[b]):
+                    existing = other.get(node)
+                    if existing is None or record.stamp > existing.stamp:
+                        other[node] = record
+
+    def _offer(self, node: str, entity: EntityId, record: OwnershipRecord) -> None:
+        existing = self._views[node].get(entity)
+        if existing is not None and existing.stamp >= record.stamp:
+            return
+        self._views[node][entity] = record
+        if record is self._authoritative.get(entity):
+            spreading = self._spreading.get(entity)
+            if spreading is not None:
+                spreading.discard(node)
+                if not spreading:
+                    del self._spreading[entity]
+                    self._visible_at[entity] = self.sim.now
+                    if self.tracer.wants("discovery-converged"):
+                        self.tracer.emit(
+                            "controller", "discovery-converged",
+                            entity=str(entity),
+                            latency=self.sim.now - self._registered_at[entity],
+                        )
+
+    def _on_heal(self, island_name: str) -> None:
+        # The PR-5 rejoin idiom: a healed node bumps its epoch so its
+        # fresh liveness claims dominate anything stamped pre-partition.
+        if island_name in self._node_epochs:
+            self._node_epochs[island_name] += 1
+
+    # -- distributed introspection -------------------------------------------
+
+    def view(self, node: str) -> dict[EntityId, str]:
+        """Node-local ownership belief (entity -> island name)."""
+        return {e: r.owner for e, r in self._views[node].items()}
+
+    def peer_view(self, node: str) -> dict[str, PeerRecord]:
+        """Node-local liveness beliefs (gossiped peer records)."""
+        return dict(self._peer_views[node])
+
+    def is_converged(self) -> bool:
+        """True when every node's view agrees with the authoritative
+        record set (no record still spreading)."""
+        return not self._spreading
+
+
+#: Directory flavours :func:`build_directory` knows how to construct.
+DIRECTORY_KINDS = ("central", "hierarchical", "gossip")
+
+
+def build_directory(
+    kind: str,
+    sim: Simulator,
+    *,
+    topology: Optional[FabricTopology] = None,
+    tracer: Optional[Tracer] = None,
+    rng: Optional[RandomStream] = None,
+    seed: int = 1,
+) -> DirectoryBase:
+    """Construct a directory by name — the one switch a testbed or
+    experiment arm flips to change the control plane's shape."""
+    if kind == "central":
+        hub = topology.root if topology is not None else None
+        hop = topology.link_latency if topology is not None else 0
+        return CentralDirectory(sim, tracer=tracer, hub=hub, hop_latency=hop)
+    if kind == "hierarchical":
+        if topology is None:
+            raise ValueError("a hierarchical directory needs a FabricTopology")
+        return HierarchicalDirectory(sim, topology, tracer=tracer)
+    if kind == "gossip":
+        period = topology.gossip_period if topology is not None else None
+        return GossipDirectory(sim, tracer=tracer, period=period, rng=rng, seed=seed)
+    raise ValueError(f"unknown directory kind {kind!r}; expected one of {DIRECTORY_KINDS}")

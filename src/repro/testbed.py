@@ -27,7 +27,8 @@ from .interconnect import (
 from .ixp import IXPIsland, IXPParams
 from .net import DuplexLink, VirtualNIC, XenBridge
 from .obs import ControlLoopCollector, SpanMinter
-from .platform import EntityId, GlobalController
+from .platform import EntityId, FabricTopology, GlobalController, build_directory
+from .platform.mesh import CoordinationMesh
 from .sim import RandomStreams, Simulator, Tracer, us
 from .x86 import VirtualMachine, X86Island, X86Params
 
@@ -357,3 +358,81 @@ class Testbed:
     def run(self, until: int) -> None:
         """Advance the whole platform to time ``until``."""
         self.sim.run(until=until)
+
+
+class FabricTestbed:
+    """A K-island platform built from a declarative fabric spec.
+
+    Where :class:`Testbed` hand-wires the paper's two-island prototype,
+    a ``FabricTestbed`` consumes a :class:`~repro.platform.FabricTopology`:
+    one x86 island per declared name, a :class:`~repro.platform.mesh.
+    CoordinationMesh` carrying the spec's links at their declared
+    latencies, and a :class:`~repro.platform.directory.Directory` of the
+    requested flavour (``"central"``, ``"hierarchical"`` or ``"gossip"``)
+    registered over all of it. Every mesh agent resolves remote entities
+    through the directory, so changing the control plane's shape is a
+    one-argument change here.
+    """
+
+    def __init__(
+        self,
+        topology: FabricTopology,
+        directory: str = "central",
+        *,
+        seed: int = 1,
+        x86: Optional[X86Params] = None,
+        tracing: bool = False,
+        faults: Optional[FaultConfig] = None,
+    ):
+        self.topology = topology
+        self.directory_kind = directory
+        self.sim = Simulator()
+        self.rng = RandomStreams(seed)
+        self.tracer = Tracer(self.sim, enabled=tracing)
+        params = x86 or X86Params(num_cpus=2)
+
+        #: name -> island, in topology order.
+        self.islands: dict[str, X86Island] = {}
+        self.mesh = CoordinationMesh(
+            self.sim, latency=topology.link_latency, tracer=self.tracer
+        )
+        for name in topology.islands:
+            island = X86Island(self.sim, params, name=name, tracer=self.tracer)
+            self.islands[name] = island
+            self.mesh.add_island(island, handler_vm=island.dom0)
+        self.mesh.apply_topology(topology)
+
+        #: The pluggable control plane.
+        self.directory = build_directory(
+            directory, self.sim, topology=topology, tracer=self.tracer, seed=seed
+        )
+        for island in self.islands.values():
+            self.directory.register_island(island)
+        for name_a, name_b, _latency in topology.links():
+            self.directory.register_channel(
+                f"{name_a}<->{name_b}", self.mesh.channel(name_a, name_b)
+            )
+        self.mesh.attach_directory(self.directory)
+
+        if faults is not None:
+            self.mesh.arm_fault_domain(faults)
+            for (frm, to), detector in sorted(self.mesh._detectors.items()):
+                self.directory.register_health(f"{frm}->{to}", detector)
+
+    def island(self, name: str) -> X86Island:
+        """The island built for topology name ``name``."""
+        return self.islands[name]
+
+    def agent(self, from_island: str, to_island: str) -> CoordinationAgent:
+        """The mesh agent at ``from_island`` toward ``to_island``."""
+        return self.mesh.agent(from_island, to_island)
+
+    def run(self, until: int) -> None:
+        """Advance the whole fabric to time ``until``."""
+        self.sim.run(until=until)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FabricTestbed islands={len(self.islands)} "
+            f"directory={self.directory_kind!r}>"
+        )

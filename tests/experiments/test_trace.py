@@ -77,10 +77,12 @@ class TestRegistry:
 
     def test_trace_opts_out_of_all(self):
         assert get("trace").in_all is False
-        # Diagnostics (trace) and fault-injection (chaos) stay out of the
-        # artefact run; every paper artefact remains in `all`.
+        # Diagnostics (trace), fault-injection (chaos) and the scale
+        # sweeps (scalability, fabric) stay out of the artefact run;
+        # every paper artefact remains in `all`.
         assert all(exp.in_all for exp in all_experiments()
-                   if exp.name not in ("trace", "chaos"))
+                   if exp.name not in ("trace", "chaos",
+                                       "scalability", "fabric"))
 
 
 TINY = RubisConfig(

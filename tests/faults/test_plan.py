@@ -20,7 +20,11 @@ class TestEventValidation:
         with pytest.raises(ValueError):
             ChannelBlackout(start=0, duration=0)
         with pytest.raises(ValueError, match="direction"):
-            ChannelBlackout(start=0, duration=ms(1), direction="sideways")
+            ChannelBlackout(start=0, duration=ms(1), direction="")
+        # Any endpoint *name* is accepted at construction (mesh links use
+        # island names); the injector validates it against the actual
+        # channel endpoints at arm time.
+        ChannelBlackout(start=0, duration=ms(1), direction="island-3")
 
     def test_blackout_end(self):
         event = ChannelBlackout(start=ms(10), duration=ms(5))

@@ -1,0 +1,108 @@
+"""Tests for the declarative fabric topology spec."""
+
+import pytest
+
+from repro.platform import ClusterSpec, FabricTopology
+from repro.sim import us
+
+
+class TestValidation:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError, match="no islands"):
+            ClusterSpec("c", ())
+
+    def test_aggregator_must_be_member(self):
+        with pytest.raises(ValueError, match="aggregator"):
+            ClusterSpec("c", ("a", "b"), aggregator="z")
+
+    def test_aggregator_defaults_to_first_island(self):
+        assert ClusterSpec("c", ("a", "b")).aggregator == "a"
+
+    def test_duplicate_island_across_clusters_rejected(self):
+        with pytest.raises(ValueError, match="only one cluster"):
+            FabricTopology(clusters=(
+                ClusterSpec("c0", ("a", "b")), ClusterSpec("c1", ("b",)),
+            ))
+
+    def test_extra_link_must_name_known_islands(self):
+        with pytest.raises(ValueError, match="unknown island"):
+            FabricTopology(
+                clusters=(ClusterSpec("c0", ("a", "b")),),
+                extra_links=(("a", "z"),),
+            )
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="self-link"):
+            FabricTopology(
+                clusters=(ClusterSpec("c0", ("a", "b")),),
+                extra_links=(("a", "a"),),
+            )
+
+
+class TestShapes:
+    def test_star_is_one_cluster_behind_hub(self):
+        topology = FabricTopology.star(("a", "b", "c"), hub="b")
+        assert topology.root == "b"
+        assert len(topology) == 3
+        links = {frozenset((x, y)) for x, y, _ in topology.links()}
+        assert links == {frozenset(("b", "a")), frozenset(("b", "c"))}
+
+    def test_clustered_chunks_by_fanout(self):
+        names = tuple(f"i{n}" for n in range(5))
+        topology = FabricTopology.clustered(names, fanout=2)
+        assert [c.name for c in topology.clusters] == [
+            "cluster-0", "cluster-1", "cluster-2"
+        ]
+        assert topology.aggregators == ("i0", "i2", "i4")
+        assert topology.root == "i0"
+        assert topology.cluster_of("i3").name == "cluster-1"
+        assert topology.aggregator_of("i3") == "i2"
+
+    def test_clustered_wires_uplinks_at_uplink_latency(self):
+        topology = FabricTopology.clustered(
+            ("a", "b", "c", "d"), fanout=2, link_latency=us(100)
+        )
+        latencies = {frozenset((x, y)): lat for x, y, lat in topology.links()}
+        assert latencies[frozenset(("a", "b"))] == us(100)
+        assert latencies[frozenset(("a", "c"))] == us(200)  # uplink = 2x
+
+    def test_ring_cycles_every_island(self):
+        topology = FabricTopology.ring(("a", "b", "c", "d"))
+        links = {frozenset((x, y)) for x, y, _ in topology.links()}
+        assert links == {
+            frozenset(("a", "b")), frozenset(("b", "c")),
+            frozenset(("c", "d")), frozenset(("d", "a")),
+        }
+
+    def test_two_ring_collapses_to_single_link(self):
+        topology = FabricTopology.ring(("a", "b"))
+        assert len(topology.links()) == 1
+
+
+class TestNextHop:
+    def test_direct_link_wins(self):
+        topology = FabricTopology.star(("a", "b", "c"))
+        assert topology.next_hop("a", "b") == "b"
+
+    def test_member_routes_through_aggregator_and_root(self):
+        names = tuple(f"i{n}" for n in range(6))
+        topology = FabricTopology.clustered(names, fanout=2)
+        # i3 (cluster-1) -> i5 (cluster-2): up to aggregator, to root,
+        # down the far side.
+        assert topology.next_hop("i3", "i5") == "i2"
+        assert topology.next_hop("i2", "i5") == "i0"
+        assert topology.next_hop("i0", "i5") == "i4"
+        assert topology.next_hop("i4", "i5") == "i5"
+
+    def test_ring_routes_shortest_way_around(self):
+        topology = FabricTopology.ring(("a", "b", "c", "d", "e"))
+        assert topology.next_hop("a", "c") == "b"
+        assert topology.next_hop("a", "d") == "e"
+
+    def test_no_route_is_none(self):
+        topology = FabricTopology(
+            clusters=(ClusterSpec("c0", ("a",)), ClusterSpec("c1", ("b",))),
+            connect_aggregators=False,
+        )
+        assert topology.next_hop("a", "b") is None
+        assert topology.next_hop("a", "a") is None
