@@ -13,7 +13,7 @@ multi-second extremes. Two findings are asserted:
 
 
 from repro.apps.rubis import RubisConfig
-from repro.experiments import Call, render_table, run_calls, run_rubis
+from repro.experiments import Job, render_table, run_jobs, run_rubis
 from repro.sim import ms, seconds, us
 from repro.testbed import ChannelConfig, TestbedConfig
 
@@ -30,7 +30,7 @@ def run_arm(latency: int):
 
 
 def run_sweep():
-    arms = run_calls([Call(run_arm, args=(latency,)) for latency in LATENCIES])
+    arms = run_jobs([Job(run_arm, args=(latency,)) for latency in LATENCIES])
     return dict(zip(LATENCIES, arms))
 
 

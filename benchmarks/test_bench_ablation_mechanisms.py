@@ -14,7 +14,7 @@ from dataclasses import replace
 
 from repro.apps.mplayer import deploy_mplayer
 from repro.coordination.mplayer_policy import STAGE_BITRATE, STAGE_OFF
-from repro.experiments import Call, render_table, run_calls
+from repro.experiments import Job, render_table, run_jobs
 from repro.experiments.mplayer import TRIGGER_DURATION, TRIGGER_WARMUP, trigger_config
 
 from _shared import emit
@@ -39,7 +39,7 @@ ARMS = (
 
 
 def run_all():
-    arms = run_calls([Call(run_arm, args=(stage, trig)) for _, stage, trig in ARMS])
+    arms = run_jobs([Job(run_arm, args=(stage, trig)) for _, stage, trig in ARMS])
     return {label: result for (label, _, _), result in zip(ARMS, arms)}
 
 

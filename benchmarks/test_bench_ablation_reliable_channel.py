@@ -15,7 +15,7 @@ and a swept retry budget. Three findings are asserted:
 """
 
 from repro.apps.rubis import RubisConfig
-from repro.experiments import Call, render_table, run_calls, run_rubis
+from repro.experiments import Job, render_table, run_jobs, run_rubis
 from repro.sim import seconds
 from repro.testbed import ChannelConfig, TestbedConfig
 
@@ -39,7 +39,7 @@ def run_arm(loss: float, budget: int):
 
 def run_sweep():
     points = [(loss, budget) for loss in LOSS_LEVELS for budget in RETRY_BUDGETS]
-    arms = run_calls([Call(run_arm, args=point) for point in points])
+    arms = run_jobs([Job(run_arm, args=point) for point in points])
     return dict(zip(points, arms))
 
 

@@ -27,7 +27,15 @@ or run a whole paper experiment::
 """
 
 from .platform import EntityId, GlobalController, Island
-from .testbed import ChannelConfig, ClientHost, FabricTestbed, Testbed, TestbedConfig
+from .shard import ShardConfig
+from .testbed import (
+    ChannelConfig,
+    ClientHost,
+    FabricTestbed,
+    Testbed,
+    TestbedConfig,
+    build_testbed,
+)
 
 __version__ = "1.0.0"
 
@@ -38,7 +46,9 @@ __all__ = [
     "GlobalController",
     "Island",
     "FabricTestbed",
+    "ShardConfig",
     "Testbed",
     "TestbedConfig",
+    "build_testbed",
     "__version__",
 ]

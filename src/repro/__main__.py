@@ -11,12 +11,14 @@ Usage::
     python -m repro chaos                # robustness blackout sweep
     python -m repro scalability          # K-island mesh coordination sweep
     python -m repro fabric               # control-plane fabric sweep (K<=128)
+    python -m repro fabric-sharded       # sharded fabric execution (K<=2048)
     python -m repro trace [--out F]      # traced run -> chrome://tracing JSON
     python -m repro all                  # everything (several minutes)
 
 Options::
 
     --seed N            experiment seed (default 1)
+    --shards N          shard count for fabric-sharded (default 4)
     --duration S        measured seconds per RUBiS arm (default 80)
     --cap W             platform power cap for power-cap (default 48)
     --out F             Chrome-trace output path for trace (default trace.json)
@@ -40,6 +42,7 @@ from .experiments import (
     render_chaos,
     render_control_loops,
     render_fabric,
+    render_fabric_sharded,
     render_scalability,
     render_figure2,
     render_figure4,
@@ -54,6 +57,7 @@ from .experiments import (
     run_chaos_sweep,
     run_energy_qos,
     run_fabric,
+    run_fabric_sharded,
     run_scalability,
     run_power_cap,
     run_qos_ladder,
@@ -131,6 +135,16 @@ def cmd_fabric(args) -> None:
     _emit(render_fabric(run_fabric(seed=args.seed)))
 
 
+@experiment("fabric-sharded", help="Extension: sharded fabric execution — "
+            "conservative multi-process time-sync over cluster boundaries, "
+            "K in {128,512,2048}, bit-identical to single-process",
+            artefacts=("fabric-sharded",), in_all=False)
+def cmd_fabric_sharded(args) -> None:
+    _emit(render_fabric_sharded(run_fabric_sharded(
+        shards=args.shards, seed=args.seed,
+    )))
+
+
 @experiment("trace", help="Causally-traced run -> chrome://tracing JSON + "
             "control-loop latency breakdown",
             artefacts=("control-loops",), in_all=False)
@@ -154,6 +168,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument("command", choices=[*names(), "all", "list"])
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count for fabric-sharded")
     parser.add_argument("--duration", type=float, default=80.0,
                         help="measured seconds per RUBiS arm")
     parser.add_argument("--cap", type=float, default=48.0,

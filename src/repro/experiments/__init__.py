@@ -37,6 +37,13 @@ from .fabric import (
     run_fabric,
     run_fabric_arm,
 )
+from .fabric_sharded import (
+    FabricShardedArmResult,
+    render_fabric_sharded,
+    run_fabric_sharded,
+    run_fabric_sharded_arm,
+    sharded_topology,
+)
 from .scalability import (
     ScalabilityArmResult,
     render_scalability,
@@ -61,12 +68,13 @@ from .power import (
 from .registry import Experiment, all_experiments, experiment, get, names, register
 from .report import percent_change, render_bars, render_minmax, render_series, render_table
 from .runner import (
-    Call,
+    ExecutionPlan,
+    Job,
+    Sweep,
     default_workers,
     parallelism_enabled,
-    run_calls,
-    run_pair,
-    run_sweep,
+    plan_execution,
+    run_jobs,
 )
 from .rubis import (
     RubisPairResult,
@@ -87,8 +95,10 @@ from .trace import (
 )
 
 __all__ = [
-    "Call",
     "ChaosArmResult",
+    "ExecutionPlan",
+    "Job",
+    "Sweep",
     "DEFAULT_TRACE_DURATION",
     "Experiment",
     "chaos_config",
@@ -103,11 +113,16 @@ __all__ = [
     "EnergyQosArmResult",
     "EnergyQosResult",
     "FabricArmResult",
+    "FabricShardedArmResult",
     "ScalabilityArmResult",
     "render_fabric",
+    "render_fabric_sharded",
     "render_scalability",
     "run_fabric",
     "run_fabric_arm",
+    "run_fabric_sharded",
+    "run_fabric_sharded_arm",
+    "sharded_topology",
     "run_scalability",
     "run_scalability_arm",
     "GUEST_SPECS",
@@ -138,16 +153,15 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_table3",
-    "run_calls",
+    "plan_execution",
+    "run_jobs",
     "run_chaos_arm",
     "run_chaos_sweep",
     "run_traced_rubis",
     "get",
-    "run_pair",
     "run_qos_ladder",
     "run_rubis",
     "run_rubis_pair",
-    "run_sweep",
     "run_trigger_arm",
     "run_trigger_pair",
     "trigger_config",

@@ -33,7 +33,7 @@ from ..platform import EntityId
 from ..sim import ms, seconds
 from ..testbed import ChannelConfig, TestbedConfig
 from .report import render_table
-from .runner import Call, run_calls
+from .runner import Job, Sweep
 
 #: Swept blackout durations (ns).
 DEFAULT_BLACKOUTS = (ms(500), seconds(1), seconds(2))
@@ -235,12 +235,14 @@ def run_chaos_sweep(
     blackouts=DEFAULT_BLACKOUTS, seed: int = 1
 ) -> list[ChaosArmResult]:
     """Sweep blackout durations, one independent arm each, fanned out."""
-    return run_calls(
-        [
-            Call(run_chaos_arm, kwargs={"blackout": blackout, "seed": seed})
-            for blackout in blackouts
-        ]
-    )
+    return Sweep(
+        Job(
+            run_chaos_arm,
+            kwargs={"blackout": blackout, "seed": seed},
+            label=f"chaos:{blackout}",
+        )
+        for blackout in blackouts
+    ).run()
 
 
 def render_chaos(results: list[ChaosArmResult]) -> str:

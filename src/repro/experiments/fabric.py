@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from ..metrics import OnlineStats
 from ..platform import EntityId, FabricTopology
 from ..sim import RandomStreams, ms, seconds
-from ..testbed import FabricTestbed
+from ..testbed import FabricTestbed, TestbedConfig
 from .report import render_table
 from .scalability import LoadReportMessage
 
@@ -99,7 +99,9 @@ def run_fabric_arm(
     if arm not in ARMS:
         raise ValueError(f"unknown arm {arm!r}; expected one of {ARMS}")
     names = tuple(f"isle-{i}" for i in range(num_islands))
-    testbed = FabricTestbed(_topology(arm, names), directory=arm, seed=seed)
+    testbed = FabricTestbed(
+        config=TestbedConfig(topology=_topology(arm, names), directory=arm, seed=seed)
+    )
     sim, directory, mesh = testbed.sim, testbed.directory, testbed.mesh
     rng = RandomStreams(seed)
 

@@ -17,7 +17,7 @@ from ..sim import ms, seconds
 from ..testbed import TestbedConfig
 from ..x86 import X86Params
 from .report import percent_change, render_series, render_table
-from .runner import Call, run_pair
+from .runner import Job, run_jobs
 
 #: Per-stage measured window of the Figure 6 ladder.
 QOS_STAGE_DURATION = seconds(25)
@@ -195,9 +195,11 @@ def run_trigger_arm(buffer_trigger: bool, seed: int = 1) -> TriggerRunResult:
 def run_trigger_pair(seed: int = 1, parallel: bool = True) -> TriggerPairResult:
     """Both arms of the buffer-monitoring experiment, fanned out in
     parallel on a multicore host (identical results either way)."""
-    base, coord = run_pair(
-        Call(run_trigger_arm, args=(False,), kwargs=dict(seed=seed)),
-        Call(run_trigger_arm, args=(True,), kwargs=dict(seed=seed)),
+    base, coord = run_jobs(
+        [
+            Job(run_trigger_arm, args=(False,), kwargs=dict(seed=seed), label="trigger:base"),
+            Job(run_trigger_arm, args=(True,), kwargs=dict(seed=seed), label="trigger:coord"),
+        ],
         max_workers=None if parallel else 1,
     )
     return TriggerPairResult(base=base, coord=coord)

@@ -16,7 +16,7 @@ from ..metrics import Summary, platform_efficiency
 from ..sim import seconds
 from ..x86.island import DOM0_NAME
 from .report import percent_change, render_bars, render_minmax, render_table
-from .runner import Call, run_pair
+from .runner import Job, run_jobs
 
 #: Default measured duration of one arm (after its internal warmup).
 DEFAULT_DURATION = seconds(80)
@@ -135,9 +135,11 @@ def run_rubis_pair(
     path (the results are identical either way).
     """
     shared = dict(duration=duration, seed=seed, config=config, fastpath=fastpath)
-    base, coord = run_pair(
-        Call(run_rubis, kwargs=dict(coordinated=False, **shared)),
-        Call(run_rubis, kwargs=dict(coordinated=True, **shared)),
+    base, coord = run_jobs(
+        [
+            Job(run_rubis, kwargs=dict(coordinated=False, **shared), label="rubis:base"),
+            Job(run_rubis, kwargs=dict(coordinated=True, **shared), label="rubis:coord"),
+        ],
         max_workers=None if parallel else 1,
     )
     return RubisPairResult(base=base, coord=coord)

@@ -2,111 +2,165 @@
 
 Every experiment arm is one isolated :class:`~repro.sim.core.Simulator` —
 arms share no state, so a config sweep or a baseline/coordinated pair is
-embarrassingly parallel. :func:`run_calls` fans a list of :class:`Call`\\ s
-out over a ``ProcessPoolExecutor`` (one worker process per arm, results in
-submission order) and degrades to plain serial execution whenever
-parallelism cannot help or cannot be trusted:
+embarrassingly parallel. The unit of work is a :class:`Job` (a picklable
+module-level callable, its arguments, a display label and an optional
+cache key); a :class:`Sweep` fans a list of jobs out over a
+``ProcessPoolExecutor`` (one worker process per job, results in
+submission order).
 
-* fewer than two calls, or ``max_workers=1``;
-* a single-CPU machine (worker start-up would only add overhead);
-* ``REPRO_PARALLEL=0`` in the environment (CI knob, also handy under
-  profilers that cannot follow forks);
-* inside a worker process (nested fan-out must not spawn pools of pools);
-* any failure of the pool itself — unpicklable arguments, a broken
-  worker — falls back to re-running everything serially, so callers never
-  need a try/except around :func:`run_calls`.
+Whether a sweep actually runs in parallel is decided once, up front, by
+:func:`repro.parallel.plan_execution` — the same rules (``REPRO_*``
+environment knobs, single-CPU hosts, nested-in-worker) that gate the
+shard coordinator in :mod:`repro.shard.runtime`, re-exported here. A
+failure of the pool itself — unpicklable arguments, a broken worker, a
+sandbox refusing to fork — still falls back to re-running everything
+serially, but the reason is logged once per distinct cause (logger
+``repro.parallel``) instead of being swallowed silently.
 
-Determinism is untouched by construction: a run's result depends only on
-its config and seed, never on which process executed it — asserted by
-``tests/experiments/test_runner.py``, which compares serial and parallel
-results bit-for-bit.
+Determinism is untouched by construction: a job's result depends only on
+its callable and arguments, never on which process executed it — asserted
+by ``tests/experiments/test_runner.py``, which compares serial and
+parallel results bit-for-bit.
 """
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Hashable, Iterable, Optional, Sequence
 
-#: Set to "0" to force serial execution regardless of core count.
-PARALLEL_ENV = "REPRO_PARALLEL"
-#: Overrides the worker count (useful to cap memory on wide machines).
-WORKERS_ENV = "REPRO_WORKERS"
-#: Present (any value) inside pool workers; nested run_calls go serial.
-_IN_WORKER_ENV = "_REPRO_IN_WORKER"
+from ..parallel import (
+    _IN_WORKER_ENV,
+    PARALLEL_ENV,
+    WORKERS_ENV,
+    ExecutionPlan,
+    default_workers,
+    log_fallback,
+    mark_worker,
+    parallelism_enabled,
+    plan_execution,
+)
+
+__all__ = [
+    "_IN_WORKER_ENV",
+    "PARALLEL_ENV",
+    "WORKERS_ENV",
+    "ExecutionPlan",
+    "Job",
+    "Sweep",
+    "default_workers",
+    "parallelism_enabled",
+    "plan_execution",
+    "run_jobs",
+]
 
 
 @dataclass(frozen=True)
-class Call:
-    """One unit of work: a picklable module-level callable plus arguments."""
+class Job:
+    """One unit of work: a picklable module-level callable plus arguments.
+
+    ``label`` names the job in logs and progress output; ``cache_key``
+    (any hashable, or None) lets a :class:`Sweep` reuse a previous result
+    for an identical job instead of re-running it.
+    """
 
     fn: Callable[..., Any]
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
+    label: str = ""
+    cache_key: Optional[Hashable] = None
 
     def run(self) -> Any:
         return self.fn(*self.args, **self.kwargs)
 
-
-def default_workers() -> int:
-    """Worker budget: ``REPRO_WORKERS`` if set, else the CPU count."""
-    env = os.environ.get(WORKERS_ENV)
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
-    return os.cpu_count() or 1
+    def __repr__(self) -> str:
+        name = self.label or getattr(self.fn, "__name__", repr(self.fn))
+        return f"Job({name})"
 
 
-def parallelism_enabled() -> bool:
-    """Whether run_calls may use worker processes at all."""
-    if os.environ.get(PARALLEL_ENV, "1") == "0":
-        return False
-    if _IN_WORKER_ENV in os.environ:
-        return False
-    return default_workers() >= 2
+def _run_job(job: Job) -> Any:
+    return job.run()
 
 
-def _mark_worker() -> None:
-    os.environ[_IN_WORKER_ENV] = "1"
+class Sweep:
+    """An ordered batch of independent :class:`Job`\\ s.
+
+    ``Sweep.run()`` returns one result per job, in submission order,
+    fanning out over a process pool when
+    :func:`~repro.parallel.plan_execution` says it can help. An optional
+    ``cache`` dict (keyed by ``Job.cache_key``) short-circuits jobs whose
+    result is already known — shared arms in a multi-figure report run
+    once.
+    """
+
+    def __init__(self, jobs: Iterable[Job] = ()):
+        self.jobs: list[Job] = list(jobs)
+
+    @classmethod
+    def of(
+        cls,
+        fn: Callable[..., Any],
+        points: Sequence[dict],
+        label: str = "",
+    ) -> "Sweep":
+        """One job per sweep point: ``fn(**point)`` for every point."""
+        name = label or getattr(fn, "__name__", "sweep")
+        return cls(
+            Job(fn, kwargs=dict(point), label=f"{name}[{i}]")
+            for i, point in enumerate(points)
+        )
+
+    def add(self, job: Job) -> "Sweep":
+        self.jobs.append(job)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def run(
+        self,
+        max_workers: Optional[int] = None,
+        cache: Optional[dict] = None,
+    ) -> list[Any]:
+        """Run every job; results in submission order."""
+        jobs = self.jobs
+        if cache is not None:
+            pending = [
+                job for job in jobs
+                if job.cache_key is None or job.cache_key not in cache
+            ]
+        else:
+            pending = list(jobs)
+        plan = plan_execution(len(pending), max_workers=max_workers)
+        if not plan.parallel:
+            fresh = {id(job): job.run() for job in pending}
+        else:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=plan.workers, initializer=mark_worker
+                ) as pool:
+                    futures = [(job, pool.submit(_run_job, job)) for job in pending]
+                    fresh = {id(job): future.result() for job, future in futures}
+            except Exception as exc:
+                # Pool trouble (unpicklable job, broken worker, fork
+                # refused by the sandbox): jobs are pure functions of
+                # their arguments, so a serial re-run is always safe — a
+                # genuine experiment error re-raises from here with an
+                # honest traceback.
+                log_fallback(f"{type(exc).__name__}: {exc}")
+                fresh = {id(job): job.run() for job in pending}
+        results = []
+        for job in jobs:
+            if id(job) in fresh:
+                result = fresh[id(job)]
+                if cache is not None and job.cache_key is not None:
+                    cache[job.cache_key] = result
+            else:
+                result = cache[job.cache_key]
+            results.append(result)
+        return results
 
 
-def _run_call(call: Call) -> Any:
-    return call.run()
-
-
-def run_calls(calls: Iterable[Call], max_workers: Optional[int] = None) -> list[Any]:
-    """Run every call, in parallel when it can help; results in order."""
-    calls = list(calls)
-    if max_workers is None:
-        max_workers = default_workers()
-    workers = min(max_workers, len(calls))
-    if workers < 2 or not parallelism_enabled():
-        return [call.run() for call in calls]
-    try:
-        with ProcessPoolExecutor(max_workers=workers, initializer=_mark_worker) as pool:
-            futures = [pool.submit(_run_call, call) for call in calls]
-            return [future.result() for future in futures]
-    except Exception:
-        # Pool trouble (unpicklable call, broken worker, fork refused by
-        # the sandbox): arms are pure functions of their arguments, so a
-        # serial re-run is always safe — a genuine experiment error will
-        # re-raise from here with an honest traceback.
-        return [call.run() for call in calls]
-
-
-def run_pair(first: Call, second: Call, max_workers: Optional[int] = None) -> tuple[Any, Any]:
-    """Run two arms (typically baseline vs coordinated) side by side."""
-    first_result, second_result = run_calls([first, second], max_workers=max_workers)
-    return first_result, second_result
-
-
-def run_sweep(
-    fn: Callable[..., Any],
-    points: Sequence[dict],
-    max_workers: Optional[int] = None,
-) -> list[Any]:
-    """Evaluate ``fn(**point)`` for every sweep point, fanning out."""
-    return run_calls([Call(fn, kwargs=dict(point)) for point in points], max_workers=max_workers)
+def run_jobs(jobs: Iterable[Job], max_workers: Optional[int] = None) -> list[Any]:
+    """Run a batch of jobs; shorthand for ``Sweep(jobs).run(...)``."""
+    return Sweep(jobs).run(max_workers=max_workers)

@@ -18,9 +18,13 @@ from .driver import (
 )
 from .msgq import MessageRing
 from .pcie import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, PCIeBus
+from .shardpipe import FramedConnection, ShardFrame, ShardProtocolError
 
 __all__ = [
     "AckFrame",
+    "FramedConnection",
+    "ShardFrame",
+    "ShardProtocolError",
     "ChannelEndpoint",
     "CoordinationChannel",
     "DataFrame",

@@ -1,0 +1,117 @@
+"""Execution planning shared by every process fan-out in the repo.
+
+Both the experiment sweep runner (:mod:`repro.experiments.runner`) and
+the shard coordinator (:mod:`repro.shard.runtime`) spread independent
+work over worker processes, and both must degrade to serial execution by
+the *same* rules — otherwise ``REPRO_PARALLEL=0`` would tame one and not
+the other. Those rules live here, in a module with no dependencies
+inside the package, so either side can import them without dragging the
+other in.
+
+The environment contract:
+
+* ``REPRO_PARALLEL=0`` forces serial execution everywhere;
+* ``REPRO_WORKERS`` caps the worker budget (validated at parse time: it
+  must be an integer >= 1);
+* ``_REPRO_IN_WORKER`` is set inside worker processes, so nested
+  fan-outs degrade to serial instead of spawning pools of pools.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+#: Set to "0" to force serial execution regardless of core count.
+PARALLEL_ENV = "REPRO_PARALLEL"
+#: Overrides the worker count (useful to cap memory on wide machines).
+WORKERS_ENV = "REPRO_WORKERS"
+#: Present (any value) inside pool workers; nested fan-outs go serial.
+_IN_WORKER_ENV = "_REPRO_IN_WORKER"
+
+_log = logging.getLogger(__name__)
+#: Pool-failure causes already reported; each distinct cause logs once.
+_logged_fallbacks: set[str] = set()
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The up-front parallel-or-serial decision for a batch of jobs."""
+
+    parallel: bool
+    workers: int
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.parallel
+
+
+def default_workers() -> int:
+    """Worker budget: ``REPRO_WORKERS`` if set, else the CPU count.
+
+    ``REPRO_WORKERS`` is validated here, at parse time: it must be an
+    integer >= 1, otherwise the sweep would degrade (or die) much later
+    inside pool construction with a far less helpful error.
+    """
+    env = os.environ.get(WORKERS_ENV)
+    if env is None or env == "":
+        return os.cpu_count() or 1
+    try:
+        workers = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV}={env!r} is not an integer; "
+            "set it to a worker count >= 1 or unset it"
+        ) from None
+    if workers < 1:
+        raise ValueError(
+            f"{WORKERS_ENV}={env!r} must be >= 1 (use {PARALLEL_ENV}=0 "
+            "to force serial execution)"
+        )
+    return workers
+
+
+def parallelism_enabled() -> bool:
+    """Whether fan-outs may use worker processes at all."""
+    if os.environ.get(PARALLEL_ENV, "1") == "0":
+        return False
+    if _IN_WORKER_ENV in os.environ:
+        return False
+    return default_workers() >= 2
+
+
+def plan_execution(njobs: int, max_workers: Optional[int] = None) -> ExecutionPlan:
+    """Decide serial vs parallel for ``njobs`` independent jobs.
+
+    Shared by :class:`~repro.experiments.runner.Sweep` and the shard
+    coordinator, so every fan-out in the repo degrades by the same rules
+    and for inspectable reasons.
+    """
+    if max_workers is None:
+        max_workers = default_workers()
+    workers = min(max_workers, njobs)
+    if njobs < 2:
+        return ExecutionPlan(False, 1, "fewer than two jobs")
+    if workers < 2:
+        if os.environ.get(WORKERS_ENV) or max_workers != default_workers():
+            return ExecutionPlan(False, 1, "worker budget capped at 1")
+        return ExecutionPlan(False, 1, "single-CPU host")
+    if os.environ.get(PARALLEL_ENV, "1") == "0":
+        return ExecutionPlan(False, 1, f"{PARALLEL_ENV}=0")
+    if _IN_WORKER_ENV in os.environ:
+        return ExecutionPlan(False, 1, "nested inside a pool worker")
+    return ExecutionPlan(True, workers, f"{workers} worker processes")
+
+
+def mark_worker() -> None:
+    """Flag this process as a pool worker (nested fan-outs go serial)."""
+    os.environ[_IN_WORKER_ENV] = "1"
+
+
+def log_fallback(cause: str) -> None:
+    """Report a pool-failure serial fallback, once per distinct cause."""
+    if cause not in _logged_fallbacks:
+        _logged_fallbacks.add(cause)
+        _log.warning("worker pool unavailable (%s); running jobs serially", cause)

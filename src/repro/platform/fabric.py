@@ -191,6 +191,13 @@ class FabricTopology:
                 return cluster
         raise KeyError(f"no cluster contains island {island!r}")
 
+    def cluster_named(self, name: str) -> ClusterSpec:
+        """The cluster called ``name``; KeyError if unknown."""
+        for cluster in self.clusters:
+            if cluster.name == name:
+                return cluster
+        raise KeyError(f"no cluster named {name!r}")
+
     def aggregator_of(self, island: str) -> str:
         """The aggregator responsible for ``island``."""
         return self.cluster_of(island).aggregator
@@ -217,6 +224,73 @@ class FabricTopology:
         for a, b in self.extra_links:
             add(a, b, self.link_latency)
         return links
+
+    # -- shard planning -----------------------------------------------------
+
+    def cross_cluster_links(self) -> list[tuple[str, str, int]]:
+        """The links whose endpoints live in *different* clusters.
+
+        These are the only links a cluster-respecting shard cut can ever
+        sever, so their minimum latency bounds how far one shard's clock
+        may safely run ahead of another's (the conservative lookahead).
+        """
+        return [
+            (a, b, latency)
+            for a, b, latency in self.links()
+            if self.cluster_of(a).name != self.cluster_of(b).name
+        ]
+
+    def min_cross_cluster_latency(self) -> Optional[int]:
+        """The conservative synchronization lookahead this fabric offers:
+        the minimum one-way latency of any cross-cluster link. A message
+        sent in the window ``[T, T+L)`` cannot arrive before ``T+L``, so
+        shards advancing in lockstep windows of this width never receive
+        a message from their past. None for single-cluster fabrics (no
+        cross-cluster link to bound anything)."""
+        latencies = [latency for _a, _b, latency in self.cross_cluster_links()]
+        return min(latencies) if latencies else None
+
+    def partition(self, shards: int) -> tuple[tuple[str, ...], ...]:
+        """Partition the clusters into ``shards`` contiguous groups of
+        near-equal island count — the shard boundaries of the sharded
+        execution mode.
+
+        Clusters are never split (a cluster's islands coordinate through
+        local state, so a cut inside one would need zero-latency
+        synchronization); the cut always falls *between* clusters, where
+        the declared link latencies provide lookahead. Assignment is
+        greedy in declaration order: each cluster joins the current group
+        until that group's island count reaches its fair share. The
+        result depends only on the topology and ``shards`` — never on
+        worker count or process placement.
+        """
+        if shards < 1:
+            raise ValueError(f"shards must be at least 1, got {shards}")
+        if shards > len(self.clusters):
+            raise ValueError(
+                f"cannot cut {len(self.clusters)} cluster(s) into {shards} "
+                "shards; cluster boundaries are the only legal cut points"
+            )
+        total = len(self)
+        groups: list[list[str]] = [[]]
+        filled = 0
+        for index, cluster in enumerate(self.clusters):
+            remaining_clusters = len(self.clusters) - index
+            remaining_groups = shards - len(groups) + 1
+            group_size = sum(
+                len(c.islands) for c in self.clusters
+                if c.name in groups[-1]
+            )
+            # Close the group once it has its fair share of the islands
+            # still unassigned — but never so late that the remaining
+            # clusters cannot populate the remaining groups.
+            fair = (total - filled + remaining_groups - 1) // remaining_groups
+            must_close = remaining_clusters == remaining_groups - 1
+            if groups[-1] and (group_size >= fair or must_close):
+                filled += group_size
+                groups.append([])
+            groups[-1].append(cluster.name)
+        return tuple(tuple(group) for group in groups)
 
     def next_hop(self, frm: str, to: str) -> Optional[str]:
         """The neighbour ``frm`` should relay through to reach ``to``.

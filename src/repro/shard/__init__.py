@@ -1,0 +1,58 @@
+"""Sharded fabric execution: conservative parallel discrete-event mode.
+
+A :class:`~repro.platform.fabric.FabricTopology` already declares the
+only facts a conservative PDES needs: clusters are coordination domains
+(their islands share local state), and cross-cluster links carry a
+declared one-way latency. :class:`ShardPlan` cuts the fabric at cluster
+boundaries into shards; the minimum cross-cluster link latency is the
+*lookahead* — a message sent during the window ``[T, T+W)`` (with ``W``
+at most the lookahead) cannot be due before ``T+W``, so every shard may
+advance its own :class:`~repro.sim.Simulator` through the whole window
+without ever hearing from another shard's past.
+
+The pieces:
+
+* :class:`ShardConfig` — the user-facing knobs (``shards``, ``workers``,
+  ``window_ns``), carried by ``TestbedConfig.shard``.
+* :class:`ShardPlan` — the deterministic cut: cluster groups, lookahead,
+  window width. Depends only on topology + shard count, never on worker
+  placement.
+* :class:`BoundaryRouter` / :class:`BoundaryMessage` — the *only* path
+  cross-cluster control traffic takes, in every execution mode. Messages
+  are stamped ``(deliver_at, dst, src, seq)`` and applied in exactly
+  that order, so the receiving shard's trajectory is a function of the
+  message set, not of which process produced it.
+* :class:`LinkHealth` — heartbeat-driven UP/SUSPECT/DOWN detection with
+  epoch-bump recovery for boundary links (the PR-5 fault idiom crossing
+  shard boundaries).
+* :class:`ShardHost` — one shard's simulator + router + world, advanced
+  window by window.
+* :func:`run_sharded` — the coordinator: grants windows, barriers,
+  routes boundary batches; runs shards inline (one process) or in
+  worker processes over seq-numbered pipes, with *bit-identical*
+  results either way.
+"""
+
+from .config import ShardConfig
+from .plan import ShardPlan
+from .ports import BoundaryMessage, BoundaryRouter, BoundaryRoutingError
+from .health import LINK_DOWN, LINK_SUSPECT, LINK_UP, LinkHealth
+from .host import ShardContext, ShardHost
+from .runtime import ShardRunResult, ShardWorkerError, run_sharded
+
+__all__ = [
+    "BoundaryMessage",
+    "BoundaryRouter",
+    "BoundaryRoutingError",
+    "LINK_DOWN",
+    "LINK_SUSPECT",
+    "LINK_UP",
+    "LinkHealth",
+    "ShardConfig",
+    "ShardContext",
+    "ShardHost",
+    "ShardPlan",
+    "ShardRunResult",
+    "ShardWorkerError",
+    "run_sharded",
+]

@@ -1,0 +1,42 @@
+"""ShardConfig: the sharded-execution knobs on a TestbedConfig.
+
+Mirrors the PR-4 ``ChannelConfig`` pattern — one frozen sub-dataclass
+grouping a subsystem's options, validated at construction, defaulting to
+the single-process behaviour (``shards=1``) so existing testbeds are
+untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How (and whether) to shard a fabric run across processes.
+
+    ``shards=1`` is the classic single-simulator mode. With more shards
+    the topology is cut at cluster boundaries (see
+    :meth:`~repro.platform.fabric.FabricTopology.partition`) and each
+    shard runs in its own worker process when the host allows it.
+    """
+
+    #: Number of shards to cut the topology into (1 = unsharded).
+    shards: int = 1
+    #: Worker-process budget for the shard pool; None defers to
+    #: ``REPRO_WORKERS`` / the CPU count (the runner's rules).
+    workers: Optional[int] = None
+    #: Synchronization window override in ns; None uses the topology's
+    #: conservative lookahead (min cross-cluster link latency). May only
+    #: *shrink* the window — a wider-than-lookahead window would let a
+    #: shard run past a message from its future.
+    window_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be at least 1, got {self.shards}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be at least 1, got {self.workers}")
+        if self.window_ns is not None and self.window_ns <= 0:
+            raise ValueError(f"window_ns must be positive, got {self.window_ns}")

@@ -1,0 +1,256 @@
+"""The shard coordinator: window grants, barriers, boundary routing.
+
+One run is a sequence of lockstep windows. For each window ``[T, T+W)``
+(``W`` = the plan's lookahead-bounded width) the coordinator grants
+every shard the window, barriers on their completion, collects the
+boundary messages each produced, routes them to the shard owning each
+destination island, and folds them into the next grant. Conservative
+lookahead guarantees every routed message is due *at or after* the next
+window's start, so no shard ever receives a message from its past.
+
+Two engines run the same protocol:
+
+* **inline** — every :class:`~repro.shard.host.ShardHost` lives in this
+  process (``shards=1``, serial degradation, and the reference arm of
+  the bit-equality tests);
+* **process** — one worker process per shard
+  (:func:`~repro.shard.worker.shard_worker_main`) over seq-numbered
+  framed pipes.
+
+The engine choice follows the runner's
+:func:`~repro.experiments.runner.plan_execution` rules (``REPRO_*``
+knobs, nested-in-worker, single CPU) and any spawn failure degrades to
+inline with its reason logged once — never silently, and never with a
+different simulation result: both engines drive identical hosts through
+identical windows with identical message batches.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..interconnect import FramedConnection, ShardProtocolError
+from ..parallel import plan_execution
+from .host import ShardHost
+from .plan import ShardPlan
+from .ports import BoundaryMessage
+from .worker import shard_worker_main
+
+_log = logging.getLogger(__name__)
+#: Degradation causes already reported; each distinct cause logs once.
+_logged_degradations: set[str] = set()
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker died; carries its formatted traceback."""
+
+
+@dataclass
+class ShardRunResult:
+    """What one sharded run produced, plus how it ran.
+
+    ``results`` holds each shard's ``collect()`` payload in shard order —
+    the *simulation* outcome, bit-identical across engines and shard
+    layouts. The remaining fields describe the *execution* (wall clock,
+    engine, window count) and are the only parts allowed to differ.
+    """
+
+    results: list
+    shards: int
+    engine: str
+    windows: int
+    events: int
+    wall_seconds: float
+    #: Boundary messages still in flight when the run ended (due at or
+    #: after ``duration``; identical across engines).
+    undelivered: int
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def _note_degradation(cause: str) -> None:
+    if cause not in _logged_degradations:
+        _logged_degradations.add(cause)
+        _log.warning("shard workers unavailable (%s); running shards inline", cause)
+
+
+class _InlineEngine:
+    """All shard hosts in this process, stepped in shard order."""
+
+    name = "inline"
+
+    def __init__(self, plan, build, build_args, fastpath):
+        self.hosts = [
+            ShardHost(plan, index, build, build_args=build_args, fastpath=fastpath)
+            for index in range(plan.shards)
+        ]
+
+    def step(self, until: int, batches: list) -> list:
+        outbound = []
+        for host, batch in zip(self.hosts, batches):
+            host.enqueue(batch)
+            outbound.append(host.advance(until))
+        return outbound
+
+    def finish(self) -> list:
+        return [
+            {
+                "result": host.collect(),
+                "events": host.events,
+                "counters": host.router.counters(),
+            }
+            for host in self.hosts
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessEngine:
+    """One worker process per shard over framed pipes."""
+
+    name = "process"
+
+    def __init__(self, plan, build, build_args, fastpath):
+        ctx = multiprocessing.get_context()
+        self._procs = []
+        self._links = []
+        try:
+            for index in range(plan.shards):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=shard_worker_main,
+                    args=(child, plan, index, build, build_args, fastpath),
+                    name=f"shard-{index}",
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._procs.append(proc)
+                self._links.append(FramedConnection(parent))
+            for link in self._links:
+                self._expect(link, "ready")
+        except BaseException:
+            self.close()
+            raise
+
+    def _expect(self, link, kind: str):
+        frame = link.recv()
+        if frame.kind == "error":
+            raise ShardWorkerError(f"shard worker failed:\n{frame.payload}")
+        if frame.kind != kind:
+            raise ShardProtocolError(f"expected {kind!r}, got {frame!r}")
+        return frame
+
+    def step(self, until: int, batches: list) -> list:
+        for link, batch in zip(self._links, batches):
+            link.send("grant", (until, batch))
+        outbound = []
+        for link in self._links:
+            shard_out, _events = self._expect(link, "done").payload
+            outbound.append(shard_out)
+        return outbound
+
+    def finish(self) -> list:
+        for link in self._links:
+            link.send("finish")
+        results = [self._expect(link, "result").payload for link in self._links]
+        for proc in self._procs:
+            proc.join(timeout=30)
+        return results
+
+    def close(self) -> None:
+        for link in self._links:
+            try:
+                link.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+
+
+def _route(plan: ShardPlan, outbound: list) -> list[list[BoundaryMessage]]:
+    """Route every drained message to the shard owning its destination."""
+    batches: list[list[BoundaryMessage]] = [[] for _ in range(plan.shards)]
+    for shard_out in outbound:
+        for message in shard_out:
+            batches[plan.shard_of(message.dst)].append(message)
+    for batch in batches:
+        batch.sort(key=BoundaryMessage.sort_key)
+    return batches
+
+
+def run_sharded(
+    plan: ShardPlan,
+    build,
+    build_args: tuple = (),
+    *,
+    duration: int,
+    fastpath: bool = True,
+    workers: Optional[int] = None,
+) -> ShardRunResult:
+    """Run ``build``'s world over ``plan`` for ``duration`` ns.
+
+    ``build(ctx, *build_args)`` is called once per shard (in a worker
+    process when the engine is parallel), so it must be a module-level
+    picklable callable; per-shard determinism must come from the plan
+    and explicit seeds in ``build_args``, never from ambient state.
+    """
+    window = plan.window_for(duration)
+    if window <= 0:
+        raise ValueError(
+            "cannot run windows of non-positive width; a zero-latency "
+            "cross-cluster link offers no lookahead"
+        )
+    engine: Any = None
+    if plan.shards >= 2:
+        exec_plan = plan_execution(plan.shards, max_workers=workers)
+        if exec_plan.parallel:
+            try:
+                engine = _ProcessEngine(plan, build, build_args, fastpath)
+            except ShardWorkerError:
+                raise  # the world itself failed to build; not a pool problem
+            except Exception as exc:
+                _note_degradation(f"{type(exc).__name__}: {exc}")
+        else:
+            _note_degradation(exec_plan.reason)
+    if engine is None:
+        engine = _InlineEngine(plan, build, build_args, fastpath)
+    start = time.perf_counter()
+    batches: list[list[BoundaryMessage]] = [[] for _ in range(plan.shards)]
+    now = 0
+    windows = 0
+    try:
+        while now < duration:
+            until = min(now + window, duration)
+            outbound = engine.step(until, batches)
+            batches = _route(plan, outbound)
+            now = until
+            windows += 1
+        shard_results = engine.finish()
+    finally:
+        engine.close()
+    wall = time.perf_counter() - start
+    counters: dict[str, int] = {}
+    for entry in shard_results:
+        for key, value in entry["counters"].items():
+            counters[key] = counters.get(key, 0) + value
+    return ShardRunResult(
+        results=[entry["result"] for entry in shard_results],
+        shards=plan.shards,
+        engine=engine.name,
+        windows=windows,
+        events=sum(entry["events"] for entry in shard_results),
+        wall_seconds=wall,
+        undelivered=sum(len(batch) for batch in batches),
+        counters=counters,
+    )

@@ -1,0 +1,65 @@
+"""The shard worker process: a ShardHost driven over a framed pipe.
+
+Protocol (every frame sequence-numbered by
+:class:`~repro.interconnect.FramedConnection`; the coordinator side
+lives in :mod:`repro.shard.runtime`):
+
+* worker -> ``ready`` after building its world;
+* coordinator -> ``grant (until, batch)`` per window; worker replies
+  ``done (outbound, events)``;
+* coordinator -> ``finish``; worker replies ``result (collect, events,
+  counters)`` and exits;
+* any exception inside the worker becomes an ``error (traceback)``
+  frame so the coordinator can re-raise with the real story.
+
+The worker marks itself with the runner's in-worker env flag, so any
+fan-out attempted inside a shard (an experiment nested in a world)
+degrades to serial instead of spawning pools of pools.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from ..interconnect import FramedConnection
+from ..parallel import mark_worker
+from .host import ShardHost
+from .plan import ShardPlan
+
+
+def shard_worker_main(
+    raw_conn,
+    plan: ShardPlan,
+    shard_index: int,
+    build,
+    build_args: tuple,
+    fastpath: bool,
+) -> None:
+    """Entry point of one shard worker process."""
+    mark_worker()
+    link = FramedConnection(raw_conn)
+    try:
+        host = ShardHost(
+            plan, shard_index, build, build_args=build_args, fastpath=fastpath
+        )
+        link.send("ready")
+        while True:
+            frame = link.recv(expect=("grant", "finish"))
+            if frame.kind == "finish":
+                link.send("result", {
+                    "result": host.collect(),
+                    "events": host.events,
+                    "counters": host.router.counters(),
+                })
+                return
+            until, batch = frame.payload
+            host.enqueue(batch)
+            outbound = host.advance(until)
+            link.send("done", (outbound, host.events))
+    except Exception:
+        try:
+            link.send("error", traceback.format_exc())
+        except (OSError, ValueError):
+            pass  # coordinator already gone; its recv will fail loudly
+    finally:
+        link.close()

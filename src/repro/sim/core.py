@@ -583,6 +583,44 @@ class Simulator:
         except StopSimulation:
             pass
 
+    def run_until(self, until: int) -> None:
+        """Advance to ``until`` processing only events *strictly before* it.
+
+        The conservative-window primitive of the sharded execution mode
+        (:mod:`repro.shard`): a shard granted the window ``[now, until)``
+        runs every local event below the window edge, leaves the clock
+        parked exactly at ``until``, and hands control back so boundary
+        messages due *at* ``until`` can be applied before any local event
+        scheduled for that same instant fires. Contrast :meth:`run`, whose
+        ``until`` is inclusive. Events at exactly ``until`` stay queued
+        and fire on the next ``run``/``run_until``/``step`` call — with
+        the clock already at ``until``, anything applied in between
+        (message deliveries, drains) is ordered *before* them.
+        """
+        if until < self._now:
+            raise SchedulingInPastError(f"run_until({until}) but now={self._now}")
+        try:
+            ready = self._ready
+            pop = heapq.heappop
+            while True:
+                if not ready:
+                    if not (self._wheel_count or self._heap):
+                        break
+                    self._refill()
+                    continue
+                head = ready[0]
+                if head[2]._cancelled:
+                    pop(ready)
+                    self._cancelled_pending -= 1
+                    continue
+                if head[0] >= until:
+                    break
+                pop(ready)
+                self._process(head[0], head[2])
+            self._now = until
+        except StopSimulation:
+            pass
+
     def stop(self) -> None:
         """Abort :meth:`run` from inside a callback or process."""
         raise StopSimulation()

@@ -29,6 +29,7 @@ from .net import DuplexLink, VirtualNIC, XenBridge
 from .obs import ControlLoopCollector, SpanMinter
 from .platform import EntityId, FabricTopology, GlobalController, build_directory
 from .platform.mesh import CoordinationMesh
+from .shard.config import ShardConfig
 from .sim import RandomStreams, Simulator, Tracer, us
 from .x86 import VirtualMachine, X86Island, X86Params
 
@@ -100,10 +101,16 @@ _legacy_channel_warned = False
 
 @dataclass(frozen=True, slots=True)
 class TestbedConfig:
-    """Shape and timing of the whole prototype platform.
+    """Shape and timing of the whole platform — prototype *or* fabric.
 
-    Channel knobs live in :attr:`channel`; the flat fields below it are a
-    deprecated compatibility shim that maps onto it (and warns once).
+    One config drives both testbed flavours through
+    :func:`build_testbed`: with the default ``topology=None`` it shapes
+    the two-island :class:`Testbed`; with a
+    :class:`~repro.platform.FabricTopology` it shapes a K-island
+    :class:`FabricTestbed` (``directory`` picks the control plane,
+    :attr:`shard` the execution mode). Channel knobs live in
+    :attr:`channel`; the flat fields at the bottom are a deprecated
+    compatibility shim that maps onto it (and warns once).
     """
 
     seed: int = 1
@@ -134,6 +141,14 @@ class TestbedConfig:
     #: None (the default) constructs nothing — runs are bit-identical to
     #: an unarmed build.
     faults: Optional[FaultConfig] = None
+    #: Build a K-island fabric instead of the two-island prototype.
+    topology: Optional[FabricTopology] = None
+    #: Directory flavour of a fabric build: ``"central"``,
+    #: ``"hierarchical"`` or ``"gossip"`` (ignored without a topology).
+    directory: str = "central"
+    #: Sharded-execution knobs (shards, worker budget, window override);
+    #: the default ``ShardConfig()`` is the classic single-process mode.
+    shard: ShardConfig = ShardConfig()
     # -- deprecated flat channel knobs (use ``channel=ChannelConfig(...)``).
     # Non-None values are merged into ``channel`` by __post_init__, which
     # warns once per process; they normalise back to None afterwards so
@@ -145,6 +160,11 @@ class TestbedConfig:
     hardware_coordination: Optional[bool] = None
 
     def __post_init__(self) -> None:
+        if self.shard.shards > 1 and self.topology is None:
+            raise ValueError(
+                "ShardConfig(shards>1) needs a fabric: pass topology=... "
+                "(the two-island prototype has no cluster boundaries to cut)"
+            )
         overrides = {
             new: getattr(self, old)
             for old, new in _LEGACY_CHANNEL_FIELDS
@@ -190,6 +210,11 @@ class Testbed:
 
     def __init__(self, config: Optional[TestbedConfig] = None):
         self.config = config or TestbedConfig()
+        if self.config.topology is not None:
+            raise ValueError(
+                "this config declares a fabric topology; build it with "
+                "build_testbed(config) (or FabricTestbed(config=config))"
+            )
         self.sim = Simulator()
         self.rng = RandomStreams(self.config.seed)
         self.tracer = Tracer(self.sim, enabled=self.config.tracing)
@@ -360,6 +385,10 @@ class Testbed:
         self.sim.run(until=until)
 
 
+#: Warn-once latch for the flat FabricTestbed signature (reset in tests).
+_legacy_fabric_warned = False
+
+
 class FabricTestbed:
     """A K-island platform built from a declarative fabric spec.
 
@@ -372,24 +401,73 @@ class FabricTestbed:
     registered over all of it. Every mesh agent resolves remote entities
     through the directory, so changing the control plane's shape is a
     one-argument change here.
+
+    Canonical construction is config-driven —
+    ``FabricTestbed(config=TestbedConfig(topology=..., directory=...))``
+    or simply :func:`build_testbed` — so fabric runs are shaped by the
+    same :class:`TestbedConfig` as prototype runs. The old flat
+    signature ``FabricTestbed(topology, directory, seed=..., ...)``
+    still works through a deprecation shim that warns once per process.
     """
 
     def __init__(
         self,
-        topology: FabricTopology,
-        directory: str = "central",
+        topology: Optional[FabricTopology] = None,
+        directory: Optional[str] = None,
         *,
-        seed: int = 1,
+        seed: Optional[int] = None,
         x86: Optional[X86Params] = None,
-        tracing: bool = False,
+        tracing: Optional[bool] = None,
         faults: Optional[FaultConfig] = None,
+        config: Optional[TestbedConfig] = None,
     ):
+        flat = {
+            "topology": topology, "directory": directory, "seed": seed,
+            "x86": x86, "tracing": tracing, "faults": faults,
+        }
+        given = {name: value for name, value in flat.items() if value is not None}
+        if config is not None:
+            if given:
+                raise ValueError(
+                    "pass either config=TestbedConfig(...) or the flat "
+                    f"arguments, not both (got {sorted(given)} alongside config)"
+                )
+            if config.topology is None:
+                raise ValueError("FabricTestbed needs TestbedConfig(topology=...)")
+        else:
+            if topology is None:
+                raise ValueError(
+                    "FabricTestbed needs a topology: pass "
+                    "config=TestbedConfig(topology=...)"
+                )
+            global _legacy_fabric_warned
+            if not _legacy_fabric_warned:
+                _legacy_fabric_warned = True
+                warnings.warn(
+                    "the flat FabricTestbed(topology, directory, ...) "
+                    "signature is deprecated; pass config="
+                    "TestbedConfig(topology=..., directory=..., ...) or use "
+                    "build_testbed()",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = TestbedConfig(
+                topology=topology,
+                directory=directory if directory is not None else "central",
+                seed=seed if seed is not None else 1,
+                x86=x86 if x86 is not None else X86Params(),
+                tracing=bool(tracing),
+                faults=faults,
+            )
+        self.config = config
+        topology = config.topology
         self.topology = topology
-        self.directory_kind = directory
+        self.directory_kind = config.directory
+        seed = config.seed
         self.sim = Simulator()
         self.rng = RandomStreams(seed)
-        self.tracer = Tracer(self.sim, enabled=tracing)
-        params = x86 or X86Params(num_cpus=2)
+        self.tracer = Tracer(self.sim, enabled=config.tracing)
+        params = config.x86
 
         #: name -> island, in topology order.
         self.islands: dict[str, X86Island] = {}
@@ -404,7 +482,8 @@ class FabricTestbed:
 
         #: The pluggable control plane.
         self.directory = build_directory(
-            directory, self.sim, topology=topology, tracer=self.tracer, seed=seed
+            config.directory, self.sim, topology=topology,
+            tracer=self.tracer, seed=seed,
         )
         for island in self.islands.values():
             self.directory.register_island(island)
@@ -414,8 +493,8 @@ class FabricTestbed:
             )
         self.mesh.attach_directory(self.directory)
 
-        if faults is not None:
-            self.mesh.arm_fault_domain(faults)
+        if config.faults is not None:
+            self.mesh.arm_fault_domain(config.faults)
             for (frm, to), detector in sorted(self.mesh._detectors.items()):
                 self.directory.register_health(f"{frm}->{to}", detector)
 
@@ -436,3 +515,18 @@ class FabricTestbed:
             f"<FabricTestbed islands={len(self.islands)} "
             f"directory={self.directory_kind!r}>"
         )
+
+
+def build_testbed(config: Optional[TestbedConfig] = None):
+    """The unified entry point: one config, the right platform.
+
+    Returns a :class:`FabricTestbed` when ``config.topology`` declares a
+    fabric, otherwise the classic two-island :class:`Testbed`. Every
+    experiment and tool that builds a platform from a
+    :class:`TestbedConfig` should come through here, so adding a fabric
+    (or shards) to a run is a config edit, not a call-site rewrite.
+    """
+    config = config or TestbedConfig()
+    if config.topology is not None:
+        return FabricTestbed(config=config)
+    return Testbed(config)

@@ -1,27 +1,29 @@
 """The parallel runner must change wall time only, never results.
 
-Covers the fan-out machinery itself (ordering, serial degradation, the
-unpicklable-fallback) and the acceptance criterion for this whole
+Covers the typed Sweep/Job fan-out machinery (ordering, caching, the
+plan_execution serial-degradation rules, REPRO_WORKERS validation, the
+logged pool-failure fallback) and the acceptance criterion for the whole
 optimisation effort: a short RUBiS pair renders bit-identical paper
 artefacts whether it runs serial, parallel, fast path or audit path.
 """
 
+import logging
 import os
 
 import pytest
 
 from repro.apps.rubis import RubisConfig
 from repro.experiments import (
-    Call,
+    Job,
+    Sweep,
     default_workers,
     parallelism_enabled,
+    plan_execution,
     render_figure2,
     render_figure4,
     render_table2,
-    run_calls,
-    run_pair,
+    run_jobs,
     run_rubis_pair,
-    run_sweep,
 )
 from repro.experiments.runner import _IN_WORKER_ENV, PARALLEL_ENV, WORKERS_ENV
 from repro.sim import ms, seconds
@@ -35,27 +37,26 @@ def whoami(tag):
     return (tag, os.getpid(), _IN_WORKER_ENV in os.environ)
 
 
-class TestRunCalls:
+class TestSweep:
     def test_results_in_submission_order(self):
-        results = run_calls([Call(square, args=(i,)) for i in range(8)])
+        results = run_jobs([Job(square, args=(i,)) for i in range(8)])
         assert results == [i * i for i in range(8)]
 
-    def test_kwargs_and_run_pair(self):
-        a, b = run_pair(Call(square, kwargs={"x": 3}), Call(square, args=(4,)))
-        assert (a, b) == (9, 16)
+    def test_kwargs_and_labels(self):
+        sweep = Sweep([Job(square, kwargs={"x": 3}, label="a"), Job(square, args=(4,))])
+        assert sweep.run() == [9, 16]
+        assert repr(sweep.jobs[0]) == "Job(a)"
 
-    def test_run_sweep(self):
-        assert run_sweep(square, [{"x": 2}, {"x": 5}]) == [4, 25]
+    def test_sweep_of_points(self):
+        assert Sweep.of(square, [{"x": 2}, {"x": 5}]).run() == [4, 25]
 
-    def test_serial_when_single_call(self):
-        assert run_calls([Call(square, args=(7,))]) == [49]
+    def test_serial_when_single_job(self):
+        assert run_jobs([Job(square, args=(7,))]) == [49]
 
     def test_max_workers_one_forces_serial(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "4")
         parent = os.getpid()
-        results = run_calls(
-            [Call(whoami, args=(i,)) for i in range(3)], max_workers=1
-        )
+        results = run_jobs([Job(whoami, args=(i,)) for i in range(3)], max_workers=1)
         assert all(pid == parent and not worker for _, pid, worker in results)
 
     def test_parallel_env_zero_forces_serial(self, monkeypatch):
@@ -63,25 +64,21 @@ class TestRunCalls:
         monkeypatch.setenv(PARALLEL_ENV, "0")
         assert not parallelism_enabled()
         parent = os.getpid()
-        results = run_calls([Call(whoami, args=(i,)) for i in range(3)])
+        results = run_jobs([Job(whoami, args=(i,)) for i in range(3)])
         assert all(pid == parent for _, pid, _ in results)
 
     def test_nested_fanout_goes_serial(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "4")
         monkeypatch.setenv(_IN_WORKER_ENV, "1")
         assert not parallelism_enabled()
-
-    def test_workers_env_override(self, monkeypatch):
-        monkeypatch.setenv(WORKERS_ENV, "3")
-        assert default_workers() == 3
-        monkeypatch.setenv(WORKERS_ENV, "garbage")
-        assert default_workers() == (os.cpu_count() or 1)
+        assert not plan_execution(4)
+        assert plan_execution(4).reason == "nested inside a pool worker"
 
     def test_forced_pool_runs_in_workers(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "2")
         if not parallelism_enabled():
             pytest.skip("parallelism unavailable in this environment")
-        results = run_calls([Call(whoami, args=(i,)) for i in range(2)])
+        results = run_jobs([Job(whoami, args=(i,)) for i in range(2)])
         tags = [tag for tag, _, _ in results]
         assert tags == [0, 1]
         # Either arms genuinely landed in marked worker processes, or the
@@ -91,10 +88,71 @@ class TestRunCalls:
         for _, pid, in_worker in results:
             assert in_worker == (pid != parent)
 
-    def test_unpicklable_call_falls_back_to_serial(self, monkeypatch):
+    def test_unpicklable_job_falls_back_and_logs_once(self, monkeypatch, caplog):
         monkeypatch.setenv(WORKERS_ENV, "2")
-        calls = [Call(lambda: 10), Call(lambda: 20)]  # lambdas: unpicklable
-        assert run_calls(calls) == [10, 20]
+        import repro.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_logged_fallbacks", set())
+        jobs = [Job(lambda: 10), Job(lambda: 20)]  # lambdas: unpicklable
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            assert run_jobs(jobs) == [10, 20]
+            first = [r for r in caplog.records if "serially" in r.message]
+            assert run_jobs(jobs) == [10, 20]
+            again = [r for r in caplog.records if "serially" in r.message]
+        # The fallback is no longer silent, but each cause logs only once.
+        assert len(first) == 1
+        assert len(again) == 1
+
+    def test_cache_short_circuits_repeat_keys(self):
+        cache = {}
+        jobs = [Job(square, args=(3,), cache_key=("sq", 3))]
+        assert Sweep(jobs).run(cache=cache) == [9]
+        assert cache == {("sq", 3): 9}
+        # Poison the cache: a hit must be returned without re-running.
+        cache[("sq", 3)] = "cached"
+        assert Sweep(jobs).run(cache=cache) == ["cached"]
+
+
+class TestWorkerBudget:
+    def test_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert default_workers() == 3
+        monkeypatch.delenv(WORKERS_ENV)
+        assert default_workers() == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", ["garbage", "0", "-2", "1.5", " "])
+    def test_invalid_workers_env_rejected_at_parse_time(self, monkeypatch, bad):
+        monkeypatch.setenv(WORKERS_ENV, bad)
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            default_workers()
+
+    def test_empty_workers_env_means_unset(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "")
+        assert default_workers() == (os.cpu_count() or 1)
+
+
+class TestExecutionPlan:
+    def test_single_job_is_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        plan = plan_execution(1)
+        assert (plan.parallel, plan.workers) == (False, 1)
+        assert plan.reason == "fewer than two jobs"
+
+    def test_parallel_plan_caps_workers_at_jobs(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        monkeypatch.delenv(PARALLEL_ENV, raising=False)
+        monkeypatch.delenv(_IN_WORKER_ENV, raising=False)
+        plan = plan_execution(3)
+        assert plan.parallel and plan.workers == 3
+
+    def test_parallel_env_reason(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        monkeypatch.setenv(PARALLEL_ENV, "0")
+        assert plan_execution(4).reason == f"{PARALLEL_ENV}=0"
+
+    def test_capped_budget_reason(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert plan_execution(4, max_workers=1).reason == "worker budget capped at 1"
 
 
 @pytest.fixture(scope="module")

@@ -81,8 +81,8 @@ class TestRegistry:
         # sweeps (scalability, fabric) stay out of the artefact run;
         # every paper artefact remains in `all`.
         assert all(exp.in_all for exp in all_experiments()
-                   if exp.name not in ("trace", "chaos",
-                                       "scalability", "fabric"))
+                   if exp.name not in ("trace", "chaos", "scalability",
+                                       "fabric", "fabric-sharded"))
 
 
 TINY = RubisConfig(

@@ -1,0 +1,81 @@
+"""FramedConnection: seq-numbered integrity framing over pipes."""
+
+from collections import deque
+
+import pytest
+
+from repro.interconnect import FramedConnection, ShardFrame, ShardProtocolError
+
+
+class _FakePipe:
+    """An in-memory stand-in for one end of a multiprocessing pipe."""
+
+    def __init__(self, rx: deque, tx: deque):
+        self.rx = rx
+        self.tx = tx
+        self.closed = False
+
+    def send(self, obj):
+        self.tx.append(obj)
+
+    def recv(self):
+        return self.rx.popleft()
+
+    def poll(self, timeout=0.0):
+        return bool(self.rx)
+
+    def close(self):
+        self.closed = True
+
+
+def pipe_pair():
+    a_to_b, b_to_a = deque(), deque()
+    return (
+        FramedConnection(_FakePipe(b_to_a, a_to_b)),
+        FramedConnection(_FakePipe(a_to_b, b_to_a)),
+    )
+
+
+class TestFraming:
+    def test_roundtrip_preserves_kind_and_payload(self):
+        a, b = pipe_pair()
+        a.send("grant", (10, ["batch"]))
+        frame = b.recv()
+        assert (frame.kind, frame.payload) == ("grant", (10, ["batch"]))
+
+    def test_each_direction_numbers_independently(self):
+        a, b = pipe_pair()
+        a.send("one")
+        a.send("two")
+        b.send("ack")
+        assert [b.recv().seq for _ in range(2)] == [0, 1]
+        assert a.recv().seq == 0
+
+    def test_gap_is_a_protocol_error(self):
+        a, b = pipe_pair()
+        a.send("one")
+        a.send("two")
+        b.recv()
+        b._conn.rx.appendleft(ShardFrame(5, "stray"))
+        with pytest.raises(ShardProtocolError, match="gap"):
+            b.recv()
+
+    def test_unexpected_kind_is_a_protocol_error(self):
+        a, b = pipe_pair()
+        a.send("grant")
+        with pytest.raises(ShardProtocolError, match="kind"):
+            b.recv(expect=("done", "error"))
+
+    def test_non_frame_is_a_protocol_error(self):
+        a, b = pipe_pair()
+        a._conn.tx.append("raw garbage")
+        with pytest.raises(ShardProtocolError, match="ShardFrame"):
+            b.recv()
+
+    def test_poll_and_close_pass_through(self):
+        a, b = pipe_pair()
+        assert not b.poll()
+        a.send("x")
+        assert b.poll()
+        b.close()
+        assert b._conn.closed

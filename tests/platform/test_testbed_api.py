@@ -1,0 +1,96 @@
+"""The unified testbed entry point: one config, two platform shapes.
+
+``TestbedConfig`` now carries the fabric topology, directory flavour and
+``ShardConfig``; ``build_testbed`` dispatches to the right testbed class,
+and the old flat ``FabricTestbed(topology, directory, ...)`` signature
+survives only through a warn-once deprecation shim.
+"""
+
+import warnings
+
+import pytest
+
+import repro.testbed as testbed_mod
+from repro import (
+    FabricTestbed,
+    ShardConfig,
+    Testbed,
+    TestbedConfig,
+    build_testbed,
+)
+from repro.platform import FabricTopology
+from repro.sim import ms
+
+NAMES = ("isle-0", "isle-1", "isle-2", "isle-3")
+
+
+def topo():
+    return FabricTopology.clustered(NAMES, fanout=2, link_latency=ms(5))
+
+
+class TestBuildTestbed:
+    def test_default_config_builds_the_prototype(self):
+        built = build_testbed()
+        assert isinstance(built, Testbed)
+
+    def test_topology_config_builds_a_fabric(self):
+        built = build_testbed(TestbedConfig(topology=topo(), directory="gossip"))
+        assert isinstance(built, FabricTestbed)
+        assert built.directory_kind == "gossip"
+        assert set(built.islands) == set(NAMES)
+
+    def test_prototype_testbed_rejects_fabric_configs(self):
+        with pytest.raises(ValueError, match="build_testbed"):
+            Testbed(TestbedConfig(topology=topo()))
+
+
+class TestFabricTestbedSignatures:
+    def test_config_form_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            FabricTestbed(config=TestbedConfig(topology=topo()))
+
+    def test_config_without_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            FabricTestbed(config=TestbedConfig())
+
+    def test_mixing_flat_and_config_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            FabricTestbed(topo(), config=TestbedConfig(topology=topo()))
+
+    def test_flat_form_warns_once_and_matches_config_form(self, monkeypatch):
+        monkeypatch.setattr(testbed_mod, "_legacy_fabric_warned", False)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = FabricTestbed(topo(), "hierarchical", seed=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second use: latched, silent
+            legacy_again = FabricTestbed(topo(), "hierarchical", seed=5)
+        modern = FabricTestbed(
+            config=TestbedConfig(
+                topology=topo(), directory="hierarchical", seed=5
+            )
+        )
+        for built in (legacy, legacy_again):
+            assert built.config.directory == modern.config.directory == "hierarchical"
+            assert built.config.seed == modern.config.seed == 5
+            assert set(built.islands) == set(modern.islands)
+
+
+class TestShardConfig:
+    def test_defaults_are_single_process(self):
+        config = ShardConfig()
+        assert (config.shards, config.workers, config.window_ns) == (1, None, None)
+        assert TestbedConfig().shard == config
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(shards=0), dict(workers=0), dict(window_ns=0)]
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardConfig(**kwargs)
+
+    def test_multi_shard_config_needs_a_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            TestbedConfig(shard=ShardConfig(shards=2))
+        config = TestbedConfig(topology=topo(), shard=ShardConfig(shards=2))
+        assert config.shard.shards == 2

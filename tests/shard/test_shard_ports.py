@@ -1,0 +1,125 @@
+"""BoundaryRouter: declared links only, total order, seq-on-drop."""
+
+import pytest
+
+from repro.faults import ChannelBlackout
+from repro.platform import FabricTopology
+from repro.shard import BoundaryMessage, BoundaryRouter, BoundaryRoutingError
+from repro.sim import ms
+
+
+def _router():
+    topo = FabricTopology.clustered(
+        tuple(f"i{n}" for n in range(8)),
+        fanout=4,
+        link_latency=ms(5),
+        uplink_latency=ms(10),
+    )
+    return BoundaryRouter(topo), topo
+
+
+class TestSend:
+    def test_deliver_at_is_send_time_plus_declared_latency(self):
+        router, topo = _router()
+        message = router.send("i0", "i4", "report", {"x": 1}, now=ms(3))
+        assert message.deliver_at == ms(3) + ms(10)
+        assert router.drain() == [message]
+        assert router.drain() == []
+
+    def test_undeclared_link_rejected(self):
+        router, _topo = _router()
+        # i1 and i5 are plain members of different clusters: no link.
+        with pytest.raises(BoundaryRoutingError, match="no declared"):
+            router.send("i1", "i5", "report", None, now=0)
+
+    def test_sequence_numbers_are_per_direction(self):
+        router, _topo = _router()
+        first = router.send("i0", "i4", "a", None, now=0)
+        second = router.send("i0", "i4", "b", None, now=0)
+        reverse = router.send("i4", "i0", "c", None, now=0)
+        assert (first.seq, second.seq, reverse.seq) == (0, 1, 0)
+
+
+class TestBlackout:
+    def test_drop_consumes_the_sequence_number(self):
+        router, _topo = _router()
+        router.add_blackout(
+            "i0", "i4", ChannelBlackout(start=ms(10), duration=ms(10))
+        )
+        before = router.send("i0", "i4", "a", None, now=0)
+        dropped = router.send("i0", "i4", "b", None, now=ms(15))
+        after = router.send("i0", "i4", "c", None, now=ms(25))
+        assert dropped is None
+        assert (before.seq, after.seq) == (0, 2)
+        assert router.counters() == {"sent": 2, "dropped": 1, "delivered": 0}
+
+    def test_directional_blackout_blocks_only_the_named_sender(self):
+        router, _topo = _router()
+        router.add_blackout(
+            "i0", "i4",
+            ChannelBlackout(start=0, duration=ms(10), direction="i4"),
+        )
+        assert router.send("i0", "i4", "a", None, now=ms(5)) is not None
+        assert router.send("i4", "i0", "b", None, now=ms(5)) is None
+
+    def test_unknown_link_or_direction_rejected(self):
+        router, _topo = _router()
+        with pytest.raises(BoundaryRoutingError, match="no declared"):
+            router.add_blackout("i1", "i5", ChannelBlackout(0, ms(1)))
+        with pytest.raises(BoundaryRoutingError, match="neither"):
+            router.add_blackout(
+                "i0", "i4", ChannelBlackout(0, ms(1), direction="i3")
+            )
+
+
+class TestDeliver:
+    def test_handler_dispatch_prefers_src_specific(self):
+        router, _topo = _router()
+        hits = []
+        router.register("i4", "ping", lambda m: hits.append("any"))
+        router.register("i4", "ping", lambda m: hits.append("from-i0"), src="i0")
+        message = router.send("i0", "i4", "ping", None, now=0)
+        router.deliver(message, message.deliver_at)
+        assert hits == ["from-i0"]
+
+    def test_duplicate_registration_rejected(self):
+        router, _topo = _router()
+        router.register("i4", "ping", lambda m: None)
+        with pytest.raises(BoundaryRoutingError, match="duplicate"):
+            router.register("i4", "ping", lambda m: None)
+
+    def test_delivery_at_wrong_time_rejected(self):
+        router, _topo = _router()
+        router.register("i4", "ping", lambda m: None)
+        message = router.send("i0", "i4", "ping", None, now=0)
+        with pytest.raises(BoundaryRoutingError, match="due time"):
+            router.deliver(message, message.deliver_at + 1)
+
+    def test_missing_handler_rejected(self):
+        router, _topo = _router()
+        message = router.send("i0", "i4", "ping", None, now=0)
+        with pytest.raises(BoundaryRoutingError, match="no handler"):
+            router.deliver(message, message.deliver_at)
+
+
+class TestOrdering:
+    def test_sort_key_orders_same_instant_deliveries(self):
+        def msg(deliver_at, dst, src, seq):
+            return BoundaryMessage(
+                src=src, dst=dst, kind="k", sent_at=0,
+                deliver_at=deliver_at, seq=seq,
+            )
+
+        shuffled = [
+            msg(20, "b", "a", 1),
+            msg(10, "b", "a", 0),
+            msg(10, "a", "b", 0),
+            msg(10, "b", "a", 1),
+            msg(10, "b", "c", 0),
+        ]
+        ordered = sorted(shuffled, key=BoundaryMessage.sort_key)
+        assert [m.sort_key() for m in ordered] == sorted(
+            m.sort_key() for m in shuffled
+        )
+        assert ordered[0].dst == "a"
+        assert ordered[-1].deliver_at == 20

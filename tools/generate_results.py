@@ -12,7 +12,7 @@ the serial path (the artefacts are identical either way).
 """
 
 from repro.experiments import (
-    Call,
+    Job,
     RubisPairResult,
     TriggerPairResult,
     render_figure2,
@@ -23,7 +23,7 @@ from repro.experiments import (
     render_table1,
     render_table2,
     render_table3,
-    run_calls,
+    run_jobs,
     run_qos_ladder,
     run_rubis,
     run_trigger_arm,
@@ -36,12 +36,12 @@ def main():
     print("=" * 72)
 
     rubis_kwargs = dict(duration=seconds(80), seed=1)
-    base, coord, ladder, trigger_base, trigger_coord = run_calls([
-        Call(run_rubis, kwargs=dict(coordinated=False, **rubis_kwargs)),
-        Call(run_rubis, kwargs=dict(coordinated=True, **rubis_kwargs)),
-        Call(run_qos_ladder),
-        Call(run_trigger_arm, args=(False,)),
-        Call(run_trigger_arm, args=(True,)),
+    base, coord, ladder, trigger_base, trigger_coord = run_jobs([
+        Job(run_rubis, kwargs=dict(coordinated=False, **rubis_kwargs), label="rubis:base"),
+        Job(run_rubis, kwargs=dict(coordinated=True, **rubis_kwargs), label="rubis:coord"),
+        Job(run_qos_ladder, label="qos-ladder"),
+        Job(run_trigger_arm, args=(False,), label="trigger:base"),
+        Job(run_trigger_arm, args=(True,), label="trigger:coord"),
     ])
     pair = RubisPairResult(base=base, coord=coord)
     trigger = TriggerPairResult(base=trigger_base, coord=trigger_coord)
