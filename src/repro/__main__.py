@@ -12,6 +12,7 @@ Usage::
     python -m repro scalability          # K-island mesh coordination sweep
     python -m repro fabric               # control-plane fabric sweep (K<=128)
     python -m repro fabric-sharded       # sharded fabric execution (K<=2048)
+    python -m repro shard-chaos          # self-healing shard chaos drills
     python -m repro trace [--out F]      # traced run -> chrome://tracing JSON
     python -m repro all                  # everything (several minutes)
 
@@ -44,6 +45,7 @@ from .experiments import (
     render_fabric,
     render_fabric_sharded,
     render_scalability,
+    render_shard_chaos,
     render_figure2,
     render_figure4,
     render_figure5,
@@ -59,6 +61,7 @@ from .experiments import (
     run_fabric,
     run_fabric_sharded,
     run_scalability,
+    run_shard_chaos,
     run_power_cap,
     run_qos_ladder,
     run_rubis_pair,
@@ -141,6 +144,16 @@ def cmd_fabric(args) -> None:
             artefacts=("fabric-sharded",), in_all=False)
 def cmd_fabric_sharded(args) -> None:
     _emit(render_fabric_sharded(run_fabric_sharded(
+        shards=args.shards, seed=args.seed,
+    )))
+
+
+@experiment("shard-chaos", help="Robustness: self-healing sharded execution — "
+            "scripted worker kills/hangs, journal-replay recovery, "
+            "K in {128,512}, bit-identical to the undisturbed reference",
+            artefacts=("shard-chaos",), in_all=False)
+def cmd_shard_chaos(args) -> None:
+    _emit(render_shard_chaos(run_shard_chaos(
         shards=args.shards, seed=args.seed,
     )))
 

@@ -44,6 +44,13 @@ from .fabric_sharded import (
     run_fabric_sharded_arm,
     sharded_topology,
 )
+from .shard_chaos import (
+    ShardChaosArmResult,
+    chaos_scenarios,
+    render_shard_chaos,
+    run_shard_chaos,
+    run_shard_chaos_arm,
+)
 from .scalability import (
     ScalabilityArmResult,
     render_scalability,
@@ -115,13 +122,18 @@ __all__ = [
     "FabricArmResult",
     "FabricShardedArmResult",
     "ScalabilityArmResult",
+    "ShardChaosArmResult",
+    "chaos_scenarios",
     "render_fabric",
     "render_fabric_sharded",
     "render_scalability",
+    "render_shard_chaos",
     "run_fabric",
     "run_fabric_arm",
     "run_fabric_sharded",
     "run_fabric_sharded_arm",
+    "run_shard_chaos",
+    "run_shard_chaos_arm",
     "sharded_topology",
     "run_scalability",
     "run_scalability_arm",

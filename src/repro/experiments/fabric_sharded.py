@@ -499,7 +499,15 @@ def _merge_shard_results(shard_results: list, counters: dict) -> dict:
     view of the fabric — the dict two arms must agree on bit-for-bit."""
     merged: dict[str, Any] = {
         "islands": {}, "clusters": {}, "root": None,
-        "spare_registered_at": None, "boundary": dict(counters),
+        "spare_registered_at": None,
+        # The supervision.* keys describe the harness (journal volume,
+        # recovery events) and legitimately differ across shard layouts;
+        # only the simulation-side counters belong in the artefact.
+        "boundary": {
+            key: value
+            for key, value in counters.items()
+            if not key.startswith("supervision.")
+        },
     }
     for entry in shard_results:
         merged["islands"].update(entry["islands"])

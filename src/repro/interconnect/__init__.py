@@ -18,13 +18,21 @@ from .driver import (
 )
 from .msgq import MessageRing
 from .pcie import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, PCIeBus
-from .shardpipe import FramedConnection, ShardFrame, ShardProtocolError
+from .shardpipe import (
+    HEARTBEAT,
+    FramedConnection,
+    ShardFrame,
+    ShardProtocolError,
+    ShardTimeoutError,
+)
 
 __all__ = [
     "AckFrame",
     "FramedConnection",
+    "HEARTBEAT",
     "ShardFrame",
     "ShardProtocolError",
+    "ShardTimeoutError",
     "ChannelEndpoint",
     "CoordinationChannel",
     "DataFrame",

@@ -10,20 +10,42 @@ idiom in its cheapest form: every frame is sequence-numbered like a
 kind is a protocol bug in the coordinator/worker state machines and is
 raised immediately instead of retransmitted around.
 
+Two liveness features serve the supervision layer
+(:mod:`repro.shard.supervisor`):
+
+* :meth:`FramedConnection.send` is thread-safe (one lock per endpoint),
+  so a worker's heartbeat thread can prove the process alive with
+  ``HEARTBEAT`` frames while the main thread simulates a window;
+* :meth:`FramedConnection.recv` accepts a wall-clock ``timeout`` and
+  raises :class:`ShardTimeoutError` instead of blocking forever on a
+  hung peer — the primitive barrier deadlines are built from.
+
 Determinism note: frames carry only picklable simulation *data* (times,
 message batches, metric payloads), never live simulator objects, so what
 crosses a pipe is exactly what an in-process shard would have handed
-over by reference.
+over by reference. Heartbeats are wall-clock chatter and never carry
+simulation state.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 
 class ShardProtocolError(RuntimeError):
     """A frame violated the inter-shard protocol (gap, reorder, bad kind)."""
+
+
+class ShardTimeoutError(TimeoutError):
+    """No frame arrived within the recv deadline (peer hung or wedged)."""
+
+
+#: Frame kind workers emit from their liveness thread; consumes sequence
+#: numbers like any frame but carries no simulation data, so receivers
+#: may skip any number of them without protocol consequence.
+HEARTBEAT = "heartbeat"
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,27 +64,50 @@ class FramedConnection:
     """A duplex pipe endpoint speaking sequence-numbered frames.
 
     Wraps a :class:`multiprocessing.connection.Connection` (or anything
-    with ``send``/``recv``/``close``). Each direction numbers its frames
-    0, 1, 2, ... independently; :meth:`recv` asserts the next frame is
-    exactly the one expected, so a desynchronized peer fails loudly at
-    the first frame instead of silently skewing a simulation window.
+    with ``send``/``recv``/``poll``/``close``). Each direction numbers
+    its frames 0, 1, 2, ... independently; :meth:`recv` asserts the next
+    frame is exactly the one expected, so a desynchronized peer fails
+    loudly at the first frame instead of silently skewing a simulation
+    window.
     """
 
     def __init__(self, conn):
         self._conn = conn
         self._tx_seq = 0
         self._rx_seq = 0
+        # Serializes sends: the worker's heartbeat thread and its main
+        # thread share one endpoint, and both the seq counter and the
+        # underlying pipe write must be atomic per frame.
+        self._tx_lock = threading.Lock()
 
     def send(self, kind: str, payload: Any = None) -> ShardFrame:
-        """Send one frame; returns it (mostly for tests/diagnostics)."""
-        frame = ShardFrame(self._tx_seq, kind, payload)
-        self._tx_seq += 1
-        self._conn.send(frame)
+        """Send one frame; returns it (mostly for tests/diagnostics).
+
+        Thread-safe: concurrent senders are serialized, so frames are
+        numbered and written atomically.
+        """
+        with self._tx_lock:
+            frame = ShardFrame(self._tx_seq, kind, payload)
+            self._tx_seq += 1
+            self._conn.send(frame)
         return frame
 
-    def recv(self, expect: Optional[Sequence[str]] = None) -> ShardFrame:
+    def recv(
+        self,
+        expect: Optional[Sequence[str]] = None,
+        timeout: Optional[float] = None,
+    ) -> ShardFrame:
         """Receive the next frame, validating seq contiguity (and, when
-        ``expect`` is given, the frame kind). Blocks until available."""
+        ``expect`` is given, the frame kind).
+
+        Blocks until a frame is available, or — with ``timeout`` (wall
+        seconds) — raises :class:`ShardTimeoutError` once the deadline
+        passes with nothing on the pipe.
+        """
+        if timeout is not None and not self._conn.poll(timeout):
+            raise ShardTimeoutError(
+                f"no frame within {timeout:.3f}s (awaiting seq {self._rx_seq})"
+            )
         frame = self._conn.recv()
         if not isinstance(frame, ShardFrame):
             raise ShardProtocolError(f"expected a ShardFrame, got {frame!r}")

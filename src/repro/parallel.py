@@ -115,3 +115,9 @@ def log_fallback(cause: str) -> None:
     if cause not in _logged_fallbacks:
         _logged_fallbacks.add(cause)
         _log.warning("worker pool unavailable (%s); running jobs serially", cause)
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which fallback causes have been warned about (test hook;
+    the sibling of :func:`repro.shard.runtime.reset_degradation_warnings`)."""
+    _logged_fallbacks.clear()

@@ -13,7 +13,9 @@ without ever hearing from another shard's past.
 The pieces:
 
 * :class:`ShardConfig` — the user-facing knobs (``shards``, ``workers``,
-  ``window_ns``), carried by ``TestbedConfig.shard``.
+  ``window_ns``, plus the supervision knobs: barrier deadline,
+  heartbeat/probe intervals, respawn budget, journal bound), carried by
+  ``TestbedConfig.shard``.
 * :class:`ShardPlan` — the deterministic cut: cluster groups, lookahead,
   window width. Depends only on topology + shard count, never on worker
   placement.
@@ -27,10 +29,18 @@ The pieces:
   shard boundaries).
 * :class:`ShardHost` — one shard's simulator + router + world, advanced
   window by window.
-* :func:`run_sharded` — the coordinator: grants windows, barriers,
-  routes boundary batches; runs shards inline (one process) or in
-  worker processes over seq-numbered pipes, with *bit-identical*
-  results either way.
+* :class:`WindowJournal` — the bounded per-run journal of every window
+  grant and routed inbound batch: the complete deterministic input of
+  any shard, and therefore the recovery substrate.
+* :class:`SupervisedEngine` / :class:`SupervisionLog` /
+  :class:`FaultScript` — the self-healing process engine: barrier
+  deadlines, heartbeat liveness probes, kill/respawn with backoff under
+  a budget, fast-forward by journal replay, and whole-run degradation to
+  the inline engine when recovery is out of moves.
+* :func:`run_sharded` — the coordinator: journals and grants windows,
+  barriers, routes boundary batches; runs shards inline (one process)
+  or under supervised worker processes, with *bit-identical* results
+  either way — even across worker crashes, hangs and degradations.
 """
 
 from .config import ShardConfig
@@ -38,12 +48,30 @@ from .plan import ShardPlan
 from .ports import BoundaryMessage, BoundaryRouter, BoundaryRoutingError
 from .health import LINK_DOWN, LINK_SUSPECT, LINK_UP, LinkHealth
 from .host import ShardContext, ShardHost
-from .runtime import ShardRunResult, ShardWorkerError, run_sharded
+from .journal import WindowJournal
+from .supervisor import (
+    FaultScript,
+    ShardWorkerError,
+    SupervisedEngine,
+    SupervisionExhausted,
+    SupervisionLog,
+)
+from .worker import BUILD_WINDOW, FINISH_WINDOW
+from .runtime import (
+    DegradationLog,
+    ShardRunResult,
+    reset_degradation_warnings,
+    run_sharded,
+)
 
 __all__ = [
+    "BUILD_WINDOW",
     "BoundaryMessage",
     "BoundaryRouter",
     "BoundaryRoutingError",
+    "DegradationLog",
+    "FINISH_WINDOW",
+    "FaultScript",
     "LINK_DOWN",
     "LINK_SUSPECT",
     "LINK_UP",
@@ -54,5 +82,10 @@ __all__ = [
     "ShardPlan",
     "ShardRunResult",
     "ShardWorkerError",
+    "SupervisedEngine",
+    "SupervisionExhausted",
+    "SupervisionLog",
+    "WindowJournal",
+    "reset_degradation_warnings",
     "run_sharded",
 ]

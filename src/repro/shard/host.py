@@ -100,7 +100,7 @@ class ShardHost:
     @property
     def events(self) -> int:
         """Kernel events processed so far (the throughput numerator)."""
-        return self.sim._seq
+        return self.sim.events
 
     def collect(self) -> Optional[Any]:
         """The world's picklable result, if it offers one."""

@@ -1,52 +1,96 @@
 """The shard coordinator: window grants, barriers, boundary routing.
 
 One run is a sequence of lockstep windows. For each window ``[T, T+W)``
-(``W`` = the plan's lookahead-bounded width) the coordinator grants
-every shard the window, barriers on their completion, collects the
-boundary messages each produced, routes them to the shard owning each
-destination island, and folds them into the next grant. Conservative
-lookahead guarantees every routed message is due *at or after* the next
-window's start, so no shard ever receives a message from its past.
+(``W`` = the plan's lookahead-bounded width) the coordinator journals
+the window's complete input (:class:`~repro.shard.journal.WindowJournal`),
+grants every shard the window, barriers on their completion, collects
+the boundary messages each produced, routes them to the shard owning
+each destination island, and folds them into the next grant.
+Conservative lookahead guarantees every routed message is due *at or
+after* the next window's start, so no shard ever receives a message from
+its past.
 
 Two engines run the same protocol:
 
 * **inline** — every :class:`~repro.shard.host.ShardHost` lives in this
   process (``shards=1``, serial degradation, and the reference arm of
   the bit-equality tests);
-* **process** — one worker process per shard
-  (:func:`~repro.shard.worker.shard_worker_main`) over seq-numbered
-  framed pipes.
+* **process** — one supervised worker process per shard
+  (:class:`~repro.shard.supervisor.SupervisedEngine`) over seq-numbered
+  framed pipes, with barrier deadlines, heartbeat liveness probes and
+  crash/hang recovery by journal replay.
 
 The engine choice follows the runner's
 :func:`~repro.experiments.runner.plan_execution` rules (``REPRO_*``
-knobs, nested-in-worker, single CPU) and any spawn failure degrades to
-inline with its reason logged once — never silently, and never with a
-different simulation result: both engines drive identical hosts through
-identical windows with identical message batches.
+knobs, nested-in-worker, single CPU); any spawn failure — and any
+mid-run :class:`~repro.shard.supervisor.SupervisionExhausted` (respawn
+budget spent, journal truncated) — degrades to the inline engine, with
+the cause recorded per run (:class:`DegradationLog`) and never with a
+different simulation result: the inline engine is rebuilt from the
+journal (or, when the journal is truncated, by deterministic
+recomputation from scratch), so degraded runs stay bit-identical to
+undisturbed ones.
 """
 
 from __future__ import annotations
 
 import logging
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..interconnect import FramedConnection, ShardProtocolError
 from ..parallel import plan_execution
+from .config import ShardConfig
 from .host import ShardHost
+from .journal import WindowJournal
 from .plan import ShardPlan
 from .ports import BoundaryMessage
-from .worker import shard_worker_main
+from .supervisor import (
+    ShardWorkerError,
+    SupervisedEngine,
+    SupervisionExhausted,
+    SupervisionLog,
+)
 
 _log = logging.getLogger(__name__)
-#: Degradation causes already reported; each distinct cause logs once.
-_logged_degradations: set[str] = set()
+#: Degradation causes already *warned* about in this process — log-spam
+#: control only (a 100-job sweep should not warn 100 times). Per-run
+#: degradation *state* lives in :class:`DegradationLog`, on the result.
+_warned_degradations: set[str] = set()
 
 
-class ShardWorkerError(RuntimeError):
-    """A shard worker died; carries its formatted traceback."""
+def reset_degradation_warnings() -> None:
+    """Forget which degradation causes have already been warned about.
+
+    The warn-once cache is process-wide (log-spam control across
+    sweeps); tests that assert on the warning call this instead of
+    reaching into module privates. Per-run degradation records
+    (``ShardRunResult.supervision["degradations"]``) are unaffected —
+    they were never global.
+    """
+    _warned_degradations.clear()
+
+
+class DegradationLog:
+    """Per-run record of why (if ever) the run left the process engine.
+
+    Replaces the old module-global "logged degradations" set: causes are
+    now state of the run they happened in, surfaced via
+    ``ShardRunResult.supervision["degradations"]`` and the
+    ``supervision.degraded_inline`` counter, while the process-wide
+    :func:`reset_degradation_warnings` cache only dedups the *warning*.
+    """
+
+    def __init__(self) -> None:
+        self.causes: list[str] = []
+
+    def note(self, cause: str) -> None:
+        self.causes.append(cause)
+        if cause not in _warned_degradations:
+            _warned_degradations.add(cause)
+            _log.warning(
+                "shard workers unavailable (%s); running shards inline", cause
+            )
 
 
 @dataclass
@@ -56,7 +100,14 @@ class ShardRunResult:
     ``results`` holds each shard's ``collect()`` payload in shard order —
     the *simulation* outcome, bit-identical across engines and shard
     layouts. The remaining fields describe the *execution* (wall clock,
-    engine, window count) and are the only parts allowed to differ.
+    engine, window count, recovery events) and are the only parts
+    allowed to differ.
+
+    ``counters`` merges the deterministic router counters (``sent`` /
+    ``dropped`` / ``delivered``), the journal accounting and the
+    ``supervision.*`` recovery counters. The supervision keys are zero
+    on undisturbed runs under every engine; bit-equality checks against
+    a disturbed run should compare only the non-``supervision.`` keys.
     """
 
     results: list
@@ -69,16 +120,14 @@ class ShardRunResult:
     #: after ``duration``; identical across engines).
     undelivered: int
     counters: dict = field(default_factory=dict)
+    #: :meth:`~repro.shard.supervisor.SupervisionLog.summary` of the
+    #: run's harness recovery events plus the per-run degradation causes
+    #: — wall-clock data, never part of any bit-equality artefact.
+    supervision: dict = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
         return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
-
-
-def _note_degradation(cause: str) -> None:
-    if cause not in _logged_degradations:
-        _logged_degradations.add(cause)
-        _log.warning("shard workers unavailable (%s); running shards inline", cause)
 
 
 class _InlineEngine:
@@ -113,71 +162,6 @@ class _InlineEngine:
         pass
 
 
-class _ProcessEngine:
-    """One worker process per shard over framed pipes."""
-
-    name = "process"
-
-    def __init__(self, plan, build, build_args, fastpath):
-        ctx = multiprocessing.get_context()
-        self._procs = []
-        self._links = []
-        try:
-            for index in range(plan.shards):
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=shard_worker_main,
-                    args=(child, plan, index, build, build_args, fastpath),
-                    name=f"shard-{index}",
-                    daemon=True,
-                )
-                proc.start()
-                child.close()
-                self._procs.append(proc)
-                self._links.append(FramedConnection(parent))
-            for link in self._links:
-                self._expect(link, "ready")
-        except BaseException:
-            self.close()
-            raise
-
-    def _expect(self, link, kind: str):
-        frame = link.recv()
-        if frame.kind == "error":
-            raise ShardWorkerError(f"shard worker failed:\n{frame.payload}")
-        if frame.kind != kind:
-            raise ShardProtocolError(f"expected {kind!r}, got {frame!r}")
-        return frame
-
-    def step(self, until: int, batches: list) -> list:
-        for link, batch in zip(self._links, batches):
-            link.send("grant", (until, batch))
-        outbound = []
-        for link in self._links:
-            shard_out, _events = self._expect(link, "done").payload
-            outbound.append(shard_out)
-        return outbound
-
-    def finish(self) -> list:
-        for link in self._links:
-            link.send("finish")
-        results = [self._expect(link, "result").payload for link in self._links]
-        for proc in self._procs:
-            proc.join(timeout=30)
-        return results
-
-    def close(self) -> None:
-        for link in self._links:
-            try:
-                link.close()
-            except OSError:
-                pass
-        for proc in self._procs:
-            if proc.is_alive():
-                proc.terminate()
-            proc.join(timeout=5)
-
-
 def _route(plan: ShardPlan, outbound: list) -> list[list[BoundaryMessage]]:
     """Route every drained message to the shard owning its destination."""
     batches: list[list[BoundaryMessage]] = [[] for _ in range(plan.shards)]
@@ -189,6 +173,51 @@ def _route(plan: ShardPlan, outbound: list) -> list[list[BoundaryMessage]]:
     return batches
 
 
+def _degrade_to_inline(
+    old_engine,
+    cause: str,
+    plan: ShardPlan,
+    build,
+    build_args: tuple,
+    fastpath: bool,
+    journal: WindowJournal,
+    windows: int,
+    window: int,
+    duration: int,
+    log: SupervisionLog,
+    degradations: DegradationLog,
+) -> _InlineEngine:
+    """Swap the whole run onto a fresh inline engine, fast-forwarded to
+    window ``windows``: from the journal when it is complete, otherwise
+    by deterministic recomputation from scratch. Either way the inline
+    hosts land bit-identical to a run that was never disturbed."""
+    started = time.monotonic()
+    degradations.note(cause)
+    log.note("degraded-inline", cause=cause)
+    old_engine.close()
+    engine = _InlineEngine(plan, build, build_args, fastpath)
+    if windows:
+        if journal.complete:
+            for _index, until, batches in journal.replay(upto=windows):
+                engine.step(until, batches)
+            source = "journal"
+        else:
+            # The journal lost its oldest windows; recompute the prefix —
+            # the same loop as the live run, so the result is identical.
+            batches: list[list[BoundaryMessage]] = [[] for _ in range(plan.shards)]
+            now = 0
+            for _w in range(windows):
+                until = min(now + window, duration)
+                batches = _route(plan, engine.step(until, batches))
+                now = until
+            source = "recompute"
+        log.note(
+            "inline-replay", windows=windows, source=source,
+            wall_s=round(time.monotonic() - started, 6),
+        )
+    return engine
+
+
 def run_sharded(
     plan: ShardPlan,
     build,
@@ -197,6 +226,8 @@ def run_sharded(
     duration: int,
     fastpath: bool = True,
     workers: Optional[int] = None,
+    config: Optional[ShardConfig] = None,
+    fault_hook=None,
 ) -> ShardRunResult:
     """Run ``build``'s world over ``plan`` for ``duration`` ns.
 
@@ -204,39 +235,75 @@ def run_sharded(
     process when the engine is parallel), so it must be a module-level
     picklable callable; per-shard determinism must come from the plan
     and explicit seeds in ``build_args``, never from ambient state.
+
+    ``config`` carries the supervision knobs (barrier deadline,
+    heartbeat/probe intervals, respawn budget, journal bound); its
+    ``shards``/``window_ns`` fields are *not* consulted here — the plan
+    already fixed those. ``fault_hook`` (picklable; see
+    :mod:`repro.shard.worker`) is delivered to worker processes only —
+    the inline engine never runs hooks, which is what makes a degraded
+    run equal to an undisturbed one even under a chaos script.
     """
+    config = config or ShardConfig()
     window = plan.window_for(duration)
     if window <= 0:
         raise ValueError(
             "cannot run windows of non-positive width; a zero-latency "
             "cross-cluster link offers no lookahead"
         )
+    journal = WindowJournal(plan.shards, limit=config.journal_limit)
+    log = SupervisionLog()
+    degradations = DegradationLog()
     engine: Any = None
     if plan.shards >= 2:
-        exec_plan = plan_execution(plan.shards, max_workers=workers)
+        effective_workers = workers if workers is not None else config.workers
+        exec_plan = plan_execution(plan.shards, max_workers=effective_workers)
         if exec_plan.parallel:
             try:
-                engine = _ProcessEngine(plan, build, build_args, fastpath)
+                engine = SupervisedEngine(
+                    plan, build, build_args, fastpath,
+                    config=config, journal=journal, log=log,
+                    fault_hook=fault_hook,
+                )
             except ShardWorkerError:
                 raise  # the world itself failed to build; not a pool problem
+            except SupervisionExhausted as exc:
+                degradations.note(str(exc))
+                log.note("degraded-inline", cause=str(exc))
             except Exception as exc:
-                _note_degradation(f"{type(exc).__name__}: {exc}")
+                degradations.note(f"{type(exc).__name__}: {exc}")
         else:
-            _note_degradation(exec_plan.reason)
+            degradations.note(exec_plan.reason)
     if engine is None:
         engine = _InlineEngine(plan, build, build_args, fastpath)
     start = time.perf_counter()
     batches: list[list[BoundaryMessage]] = [[] for _ in range(plan.shards)]
     now = 0
     windows = 0
+    degrade_args = (plan, build, build_args, fastpath, journal)
     try:
         while now < duration:
             until = min(now + window, duration)
-            outbound = engine.step(until, batches)
+            journal.record(windows, until, batches)
+            try:
+                outbound = engine.step(until, batches)
+            except SupervisionExhausted as exc:
+                engine = _degrade_to_inline(
+                    engine, str(exc), *degrade_args,
+                    windows, window, duration, log, degradations,
+                )
+                outbound = engine.step(until, batches)
             batches = _route(plan, outbound)
             now = until
             windows += 1
-        shard_results = engine.finish()
+        try:
+            shard_results = engine.finish()
+        except SupervisionExhausted as exc:
+            engine = _degrade_to_inline(
+                engine, str(exc), *degrade_args,
+                windows, window, duration, log, degradations,
+            )
+            shard_results = engine.finish()
     finally:
         engine.close()
     wall = time.perf_counter() - start
@@ -244,6 +311,10 @@ def run_sharded(
     for entry in shard_results:
         for key, value in entry["counters"].items():
             counters[key] = counters.get(key, 0) + value
+    counters.update(journal.counters())
+    counters.update(log.counters())
+    supervision = log.summary()
+    supervision["degradations"] = list(degradations.causes)
     return ShardRunResult(
         results=[entry["result"] for entry in shard_results],
         shards=plan.shards,
@@ -253,4 +324,5 @@ def run_sharded(
         wall_seconds=wall,
         undelivered=sum(len(batch) for batch in batches),
         counters=counters,
+        supervision=supervision,
     )

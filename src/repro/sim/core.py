@@ -313,6 +313,15 @@ class Simulator:
         """Current virtual time in clock ticks (nanoseconds)."""
         return self._now
 
+    @property
+    def events(self) -> int:
+        """Total schedule entries filed so far — the monotone kernel
+        event counter (and the throughput numerator of every events/sec
+        figure). Public so harness code never reads ``_seq`` directly;
+        deterministic for a given scenario in both kernel modes, because
+        every push consumes exactly one sequence number."""
+        return self._seq
+
     # -- event constructors ----------------------------------------------
 
     def event(self, name: str = "") -> Event:

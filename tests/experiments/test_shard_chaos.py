@@ -1,0 +1,96 @@
+"""The shard-chaos experiment: scripted faults, bit-equal recovery."""
+
+import pytest
+
+from repro.experiments import (
+    chaos_scenarios,
+    render_shard_chaos,
+    run_shard_chaos,
+)
+from repro.experiments.shard_chaos import CHAOS_KNOBS
+from repro.shard import FaultScript
+from repro.sim import ms
+
+K = 16
+FANOUT = 4
+DURATION = ms(250)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_shard_chaos(
+        island_counts=(K,), shards=2, duration=DURATION, seed=3,
+        workers=2, fanout=FANOUT,
+    )
+
+
+class TestScenarios:
+    def test_every_scenario_survived_bit_identical(self, results):
+        arms = results[K]
+        assert [arm.scenario for arm in arms] == [
+            "none", "crash", "hang", "exhaust",
+        ]
+        assert all(arm.bit_identical for arm in arms)
+
+    def test_clean_run_shows_no_recovery(self, results):
+        clean = results[K][0]
+        assert clean.engine == "process"
+        assert clean.crashes == clean.hangs == clean.respawns == 0
+        assert clean.recovery_seconds == 0
+
+    def test_crash_respawns_and_replays(self, results):
+        crash = results[K][1]
+        assert crash.engine == "process"
+        assert crash.crashes == 1
+        assert crash.respawns == 1
+        assert crash.replayed_windows > 0
+        assert crash.degraded == 0
+
+    def test_hang_detected_and_recovered(self, results):
+        hang = results[K][2]
+        assert hang.engine == "process"
+        assert hang.hangs == 1
+        assert hang.respawns == 1
+        # Detection is bounded by the configured barrier deadline.
+        assert hang.recovery_seconds < CHAOS_KNOBS["barrier_timeout_s"] + 5.0
+
+    def test_exhaustion_degrades_to_inline(self, results):
+        exhaust = results[K][3]
+        assert exhaust.engine == "inline"
+        assert exhaust.degraded == 1
+        assert exhaust.respawns == 1  # the overridden budget, fully spent
+        assert exhaust.crashes >= 2  # first life + the respawned one
+
+
+class TestScripts:
+    def test_scenarios_are_picklable(self):
+        import pickle
+
+        for _name, script, _overrides in chaos_scenarios(100, 2):
+            assert pickle.loads(pickle.dumps(script)) == script
+
+    def test_exhaust_scenario_is_persistent(self):
+        by_name = {
+            name: script for name, script, _ in chaos_scenarios(100, 2)
+        }
+        assert isinstance(by_name["exhaust"], FaultScript)
+        assert by_name["exhaust"].persistent
+        assert not by_name["crash"].persistent
+
+    def test_windows_stay_in_range_for_tiny_runs(self):
+        for _name, script, _overrides in chaos_scenarios(4, 2):
+            if script is None:
+                continue
+            for _shard, window in script.kills:
+                assert 0 < window < 4
+            for _shard, window, _sleep in script.hangs:
+                assert 0 < window < 4
+
+
+class TestRendering:
+    def test_table_reports_recovery_and_overhead(self, results):
+        table = render_shard_chaos(results)
+        assert "bit-identical" in table
+        for scenario in ("none", "crash", "hang", "exhaust"):
+            assert scenario in table
+        assert "Respawns" in table and "Overhead" in table

@@ -82,7 +82,8 @@ class TestRegistry:
         # every paper artefact remains in `all`.
         assert all(exp.in_all for exp in all_experiments()
                    if exp.name not in ("trace", "chaos", "scalability",
-                                       "fabric", "fabric-sharded"))
+                                       "fabric", "fabric-sharded",
+                                       "shard-chaos"))
 
 
 TINY = RubisConfig(

@@ -112,19 +112,22 @@ class TestDegradation:
     def test_disabled_parallelism_degrades_inline_and_logs_once(
         self, monkeypatch, caplog
     ):
-        import repro.shard.runtime as runtime
-
-        from repro.parallel import PARALLEL_ENV
+        from repro.parallel import PARALLEL_ENV, plan_execution
+        from repro.shard import reset_degradation_warnings
 
         monkeypatch.setenv(PARALLEL_ENV, "0")
-        monkeypatch.setattr(runtime, "_logged_degradations", set())
+        reset_degradation_warnings()
         plan = ShardPlan(ring_topology(), shards=2)
+        expected_cause = plan_execution(plan.shards).reason
         with caplog.at_level(logging.WARNING, logger="repro.shard.runtime"):
             for _ in range(2):
                 run = run_sharded(
                     plan, build_ping_world, (9,), duration=ms(50)
                 )
                 assert run.engine == "inline"
+                # Per-run state: every run records its own cause, even
+                # though only the first one warns.
+                assert run.supervision["degradations"] == [expected_cause]
         notes = [r for r in caplog.records if "inline" in r.message]
         assert len(notes) == 1
 

@@ -81,7 +81,7 @@ class TestWheelVsHeapOrdering:
             log = []
             _scattered_timers(sim, log)
             sim.run()
-            logs.append((log, sim.now, sim._seq))
+            logs.append((log, sim.now, sim.events))
         assert logs[0] == logs[1]
 
     def test_all_entries_fire_in_time_then_fifo_order(self):
@@ -270,7 +270,7 @@ class TestPeriodicTaskAuditEquality:
             log = []
             _periodic_workload(sim, log)
             sim.run(until=SLOT * 25)
-            results.append((log, sim.now, sim._seq))
+            results.append((log, sim.now, sim.events))
         assert results[0] == results[1]
 
     def test_mid_run_fastpath_flip_migrates_tasks(self):
